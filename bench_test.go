@@ -1,0 +1,333 @@
+// Benchmarks regenerating every figure of the reproduced paper plus the
+// core operations behind them. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Figure mapping (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//	BenchmarkFigure1* — Figures 1-2: the worked example and its lemma audit
+//	BenchmarkFigure3* — Figure 3: R(k_c) curves for TDMA / optimal / practical CSMA-CA
+//	BenchmarkFigure4* — Figure 4: NE with exception user, Theorem 1 + oracle
+//	BenchmarkFigure5* — Figure 5: NE without exception user
+//
+// The remaining benchmarks cover Algorithm 1, the best-response DP, the
+// exact-arithmetic oracle, convergence dynamics, the distributed protocol
+// and the MAC simulators — the machinery every experiment is built from.
+package chanalloc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/multiradio/chanalloc"
+)
+
+func benchGame(b *testing.B, users, channels, radios int, r chanalloc.RateFunc) *chanalloc.Game {
+	b.Helper()
+	g, err := chanalloc.NewGame(users, channels, radios, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkFigure1LemmaAudit regenerates the paper's Figure 1/2 walkthrough:
+// build the example allocation and produce one witness per violated rule.
+func BenchmarkFigure1LemmaAudit(b *testing.B) {
+	s, err := chanalloc.ScenarioFigure1(chanalloc.TDMA(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := chanalloc.CheckAllLemmas(s.Game, s.Alloc); len(vs) == 0 {
+			b.Fatal("figure 1 must violate lemmas")
+		}
+	}
+}
+
+// BenchmarkFigure1Render regenerates the Figure 2 strategy-matrix rendering.
+func BenchmarkFigure1Render(b *testing.B) {
+	s, err := chanalloc.ScenarioFigure1(chanalloc.TDMA(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Alloc.String() == "" {
+			b.Fatal("empty rendering")
+		}
+	}
+}
+
+// BenchmarkFigure3Curves regenerates Figure 3: all three R(k_c) curves for
+// k = 1..30 (TDMA constant, optimal CSMA/CA, practical CSMA/CA).
+func BenchmarkFigure3Curves(b *testing.B) {
+	p := chanalloc.Default80211b()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tdma := chanalloc.TDMA(p.DataRate)
+		opt, err := chanalloc.OptimalCSMA(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prac, err := chanalloc.PracticalCSMA(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 1; k <= 30; k++ {
+			if tdma.Rate(k) < prac.Rate(k) {
+				b.Fatal("practical CSMA above TDMA")
+			}
+			_ = opt.Rate(k)
+		}
+	}
+}
+
+// BenchmarkFigure4Verify regenerates Figure 4's claim: the exception-user
+// allocation passes both the Theorem 1 checker and the exact oracle.
+func BenchmarkFigure4Verify(b *testing.B) {
+	s, err := chanalloc.ScenarioFigure4(chanalloc.TDMA(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := chanalloc.TheoremNE(s.Game, s.Alloc); !ok {
+			b.Fatal("figure 4 should satisfy Theorem 1")
+		}
+		ne, err := s.Game.IsNashEquilibrium(s.Alloc)
+		if err != nil || !ne {
+			b.Fatalf("figure 4 oracle: ne=%v err=%v", ne, err)
+		}
+	}
+}
+
+// BenchmarkFigure5Verify regenerates Figure 5's claim (NE, no exception).
+func BenchmarkFigure5Verify(b *testing.B) {
+	s, err := chanalloc.ScenarioFigure5(chanalloc.TDMA(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := chanalloc.TheoremNE(s.Game, s.Alloc); !ok {
+			b.Fatal("figure 5 should satisfy Theorem 1")
+		}
+		ne, err := s.Game.IsNashEquilibrium(s.Alloc)
+		if err != nil || !ne {
+			b.Fatalf("figure 5 oracle: ne=%v err=%v", ne, err)
+		}
+	}
+}
+
+// BenchmarkAlgorithm1 measures the centralised allocation across sizes
+// (experiment E4's engine).
+func BenchmarkAlgorithm1(b *testing.B) {
+	sizes := []struct{ n, c, k int }{
+		{7, 6, 4},
+		{16, 12, 8},
+		{64, 32, 16},
+		{256, 64, 32},
+	}
+	for _, sz := range sizes {
+		b.Run(fmt.Sprintf("N%d_C%d_k%d", sz.n, sz.c, sz.k), func(b *testing.B) {
+			g := benchGame(b, sz.n, sz.c, sz.k, chanalloc.TDMA(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := chanalloc.Algorithm1(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBestResponseDP measures the exact best-response dynamic program.
+func BenchmarkBestResponseDP(b *testing.B) {
+	sizes := []struct{ c, k int }{
+		{6, 4},
+		{16, 8},
+		{64, 16},
+	}
+	for _, sz := range sizes {
+		b.Run(fmt.Sprintf("C%d_k%d", sz.c, sz.k), func(b *testing.B) {
+			ext := make([]int, sz.c)
+			for c := range ext {
+				ext[c] = (c*7)%5 + 1
+			}
+			r := chanalloc.TDMA(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chanalloc.BestResponseToLoads(r, ext, sz.k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTheoremNE measures the closed-form NE checker on a large NE.
+func BenchmarkTheoremNE(b *testing.B) {
+	g := benchGame(b, 64, 32, 16, chanalloc.TDMA(1))
+	ne, err := chanalloc.Algorithm1(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, v := chanalloc.TheoremNE(g, ne); !ok {
+			b.Fatalf("not NE: %v", v)
+		}
+	}
+}
+
+// BenchmarkExactOracle measures the full best-response NE oracle.
+func BenchmarkExactOracle(b *testing.B) {
+	g := benchGame(b, 16, 12, 8, chanalloc.TDMA(1))
+	ne, err := chanalloc.Algorithm1(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := g.IsNashEquilibrium(ne)
+		if err != nil || !ok {
+			b.Fatalf("oracle: %v %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkBianchiSolve measures the DCF fixed-point solver (Figure 3's
+// inner loop).
+func BenchmarkBianchiSolve(b *testing.B) {
+	p := chanalloc.Default80211b()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chanalloc.SolveDCF(p, 1+(i%32)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSMASimulator measures the slot-level MAC simulator (experiment
+// E5's engine), in slots per second.
+func BenchmarkCSMASimulator(b *testing.B) {
+	p := chanalloc.Default80211b()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chanalloc.SimulateCSMA(p, 8, 10000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBestResponseDynamics measures convergence from a random start
+// (experiment E6's engine).
+func BenchmarkBestResponseDynamics(b *testing.B) {
+	g := benchGame(b, 16, 12, 6, chanalloc.TDMA(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := chanalloc.RandomAlloc(g, uint64(i))
+		res, err := chanalloc.RunBestResponse(g, start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkDistributedProtocol measures a full token-ring run over
+// in-process pipes (experiment E7's engine).
+func BenchmarkDistributedProtocol(b *testing.B) {
+	r := chanalloc.TDMA(1)
+	g := benchGame(b, 8, 6, 3, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policies := chanalloc.UniformPolicies(g.Users(), func(int) chanalloc.Policy {
+			return &chanalloc.BestResponsePolicy{Rate: r}
+		})
+		res, err := chanalloc.RunDistributed(g, policies)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Stats.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkWelfareOptimum measures the all-placed welfare DP (experiment
+// E9's engine).
+func BenchmarkWelfareOptimum(b *testing.B) {
+	g := benchGame(b, 16, 12, 8, chanalloc.HarmonicRate(1, 0.5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if opt, _ := chanalloc.OptimalWelfareAllPlaced(g); opt <= 0 {
+			b.Fatal("degenerate optimum")
+		}
+	}
+}
+
+// BenchmarkHeteroAlgorithm1 measures the heterogeneous-budget allocation
+// (experiment E11's engine).
+func BenchmarkHeteroAlgorithm1(b *testing.B) {
+	budgets := make([]int, 64)
+	for i := range budgets {
+		budgets[i] = 1 + i%16
+	}
+	g, err := chanalloc.NewHeteroGame(32, budgets, chanalloc.TDMA(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chanalloc.HeteroAlgorithm1(g, chanalloc.TieFirst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBianchiRTSCTS measures the RTS/CTS fixed point used by the
+// Figure 3 extension series.
+func BenchmarkBianchiRTSCTS(b *testing.B) {
+	p := chanalloc.Bianchi1Mbps().WithRTSCTS()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chanalloc.SolveDCF(p, 1+(i%32)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimultaneousDynamics measures simultaneous best response with
+// inertia 0.5 (E6's slowest process).
+func BenchmarkSimultaneousDynamics(b *testing.B) {
+	g := benchGame(b, 8, 6, 3, chanalloc.TDMA(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := chanalloc.RandomAlloc(g, uint64(i))
+		if _, err := chanalloc.RunSimultaneous(g, start, 0.5, chanalloc.WithDynamicsSeed(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPotential measures the congestion-potential evaluation used to
+// trace dynamics.
+func BenchmarkPotential(b *testing.B) {
+	g := benchGame(b, 64, 32, 16, chanalloc.TDMA(1))
+	ne, err := chanalloc.Algorithm1(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := g.Rate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if chanalloc.Potential(r, ne) <= 0 {
+			b.Fatal("degenerate potential")
+		}
+	}
+}

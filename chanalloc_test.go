@@ -1,0 +1,245 @@
+package chanalloc_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/multiradio/chanalloc"
+)
+
+// TestPublicQuickstart walks the README's quickstart through the public API.
+func TestPublicQuickstart(t *testing.T) {
+	g, err := chanalloc.NewGame(7, 6, 4, chanalloc.TDMA(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := chanalloc.Algorithm1(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, v := chanalloc.TheoremNE(g, ne)
+	if !ok {
+		t.Fatalf("Algorithm 1 output fails Theorem 1: %v", v)
+	}
+	stable, err := g.IsNashEquilibrium(ne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("Algorithm 1 output rejected by oracle")
+	}
+	poa, err := chanalloc.PriceOfAnarchy(g, ne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(poa-1) > 1e-12 {
+		t.Fatalf("PoA = %v, want 1 under constant R", poa)
+	}
+}
+
+func TestPublicRateFamilies(t *testing.T) {
+	rates := []chanalloc.RateFunc{
+		chanalloc.TDMA(10),
+		chanalloc.HarmonicRate(10, 0.5),
+		chanalloc.GeometricRate(10, 0.9),
+	}
+	for _, r := range rates {
+		if err := chanalloc.ValidateRate(r, 32); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+	tbl, err := chanalloc.TableRate("measured", []float64{9, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rate(2) != 8 {
+		t.Fatalf("table rate wrong: %v", tbl.Rate(2))
+	}
+}
+
+func TestPublicCSMAAdapters(t *testing.T) {
+	p := chanalloc.Default80211b()
+	prac, err := chanalloc.PracticalCSMA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := chanalloc.OptimalCSMA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chanalloc.ValidateRate(prac, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := chanalloc.ValidateRate(opt, 20); err != nil {
+		t.Fatal(err)
+	}
+	// A full game on the practical CSMA rate still lands on a NE.
+	g, err := chanalloc.NewGame(5, 4, 3, prac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := chanalloc.Algorithm1(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, err := g.IsNashEquilibrium(ne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("Algorithm 1 output on CSMA rate is not NE")
+	}
+}
+
+func TestPublicScenarios(t *testing.T) {
+	for _, name := range chanalloc.ScenarioNames() {
+		s, err := chanalloc.ScenarioByName(name, chanalloc.TDMA(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Alloc == nil {
+			t.Fatalf("%s has no pinned allocation", name)
+		}
+	}
+}
+
+func TestPublicDynamics(t *testing.T) {
+	g, err := chanalloc.NewGame(5, 4, 3, chanalloc.TDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := chanalloc.RandomAlloc(g, 42)
+	res, err := chanalloc.RunBestResponse(g, start,
+		chanalloc.WithDynamicsSchedule(chanalloc.RandomOrder),
+		chanalloc.WithDynamicsSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("dynamics did not converge")
+	}
+	stable, err := g.IsNashEquilibrium(res.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("converged state not NE")
+	}
+	if chanalloc.Potential(g.Rate(), res.Final) < chanalloc.Potential(g.Rate(), start)-1e-9 {
+		t.Fatal("potential decreased end to end")
+	}
+}
+
+func TestPublicDistributed(t *testing.T) {
+	r := chanalloc.TDMA(1)
+	g, err := chanalloc.NewGame(4, 4, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := chanalloc.UniformPolicies(g.Users(), func(int) chanalloc.Policy {
+		return &chanalloc.BestResponsePolicy{Rate: r}
+	})
+	res, err := chanalloc.RunDistributed(g, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("distributed run did not converge")
+	}
+	stable, err := g.IsNashEquilibrium(res.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("distributed result not NE")
+	}
+}
+
+func TestPublicSimulators(t *testing.T) {
+	res, err := chanalloc.SimulateCSMA(chanalloc.Default80211b(), 3, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("CSMA sim produced nothing")
+	}
+	tdma, err := chanalloc.SimulateTDMA(chanalloc.TDMASimConfig{
+		Radios: 4, SlotTime: 1000, Guard: 0, DataRate: 11, Frames: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tdma.Throughput-11) > 1e-9 {
+		t.Fatalf("TDMA sim throughput %v, want 11", tdma.Throughput)
+	}
+}
+
+func TestPublicWelfareHelpers(t *testing.T) {
+	g, err := chanalloc.NewGame(2, 3, 2, chanalloc.TDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := chanalloc.OptimalWelfareAllPlaced(g)
+	idle, _ := chanalloc.OptimalWelfareIdleAllowed(g)
+	if all <= 0 || idle <= 0 {
+		t.Fatal("degenerate optima")
+	}
+	nes, err := chanalloc.EnumerateNE(g, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nes) == 0 {
+		t.Fatal("no NE enumerated")
+	}
+	imp, err := chanalloc.FindParetoImprovement(g, nes[0], 1e-9, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp != nil {
+		t.Fatal("NE should be Pareto-optimal")
+	}
+}
+
+func TestPublicTDMASchedules(t *testing.T) {
+	g, err := chanalloc.NewGame(4, 4, 2, chanalloc.TDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := chanalloc.Algorithm1(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedules, err := chanalloc.BuildTDMASchedules(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chanalloc.VerifyFairShare(a, schedules); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDCFSolvers(t *testing.T) {
+	p := chanalloc.Bianchi1Mbps()
+	r, err := chanalloc.SolveDCF(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Efficiency < 0.6 || r.Efficiency > 0.9 {
+		t.Fatalf("efficiency %v outside Bianchi's published band", r.Efficiency)
+	}
+	o, err := chanalloc.SolveDCFOptimal(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Throughput <= r.Throughput {
+		t.Fatal("optimal backoff should beat practical at n=10")
+	}
+	emp, err := chanalloc.EmpiricalCSMARate(p, 3, 30000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chanalloc.ValidateRate(emp, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,341 @@
+// Command chanalloc is the command-line interface to the multi-radio
+// channel allocation library.
+//
+// Modes:
+//
+//	chanalloc -mode allocate -users 7 -channels 6 -radios 4 -rate tdma:54
+//	    Run the paper's Algorithm 1 and report the equilibrium.
+//
+//	chanalloc -mode verify -users 4 -channels 5 -radios 4 -in matrix.txt
+//	    Audit an explicit strategy matrix against Lemmas 1-4, Theorem 1
+//	    and the exact best-response oracle. The matrix file holds one row
+//	    of whitespace-separated radio counts per user ('#' comments
+//	    allowed); use '-' to read stdin.
+//
+//	chanalloc -mode dynamics -users 8 -channels 6 -radios 3 -process br
+//	    Start from a random allocation and run best-response ("br") or
+//	    radio-greedy ("greedy") dynamics to convergence.
+//
+//	chanalloc -mode distributed -users 6 -channels 5 -radios 3 -policy br
+//	    Run the distributed token-ring protocol in-process and verify the
+//	    resulting equilibrium.
+//
+// Rate functions (-rate): tdma:R0 | harmonic:R0:alpha | geometric:R0:beta |
+// csma-practical | csma-optimal (802.11b parameters) |
+// csma-practical:1mbps | csma-optimal:1mbps (Bianchi's 1 Mbit/s set).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/multiradio/chanalloc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "chanalloc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	g, err := chanalloc.NewGame(cfg.users, cfg.channels, cfg.radios, cfg.rate)
+	if err != nil {
+		return err
+	}
+	switch cfg.mode {
+	case "allocate":
+		return allocate(out, g, cfg)
+	case "verify":
+		return verify(out, g, cfg)
+	case "dynamics":
+		return dynamicsMode(out, g, cfg)
+	case "distributed":
+		return distributed(out, g, cfg)
+	default:
+		return fmt.Errorf("unknown mode %q (want allocate, verify, dynamics or distributed)", cfg.mode)
+	}
+}
+
+func allocate(out io.Writer, g *chanalloc.Game, cfg *config) error {
+	opts := []chanalloc.Algorithm1Option{
+		chanalloc.WithTieBreak(cfg.tie),
+		chanalloc.WithSeed(cfg.seed),
+	}
+	if cfg.literal {
+		opts = append(opts, chanalloc.WithLiteralRule())
+	}
+	a, err := chanalloc.Algorithm1(g, opts...)
+	if err != nil {
+		return err
+	}
+	return report(out, g, a)
+}
+
+func verify(out io.Writer, g *chanalloc.Game, cfg *config) error {
+	matrix, err := readMatrix(cfg.in)
+	if err != nil {
+		return err
+	}
+	a, err := chanalloc.AllocFromMatrix(matrix)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Lemma audit:")
+	violations := chanalloc.CheckAllLemmas(g, a)
+	if len(violations) == 0 {
+		fmt.Fprintln(out, "  no lemma violations")
+	}
+	for _, v := range violations {
+		fmt.Fprintf(out, "  violated: %s\n", v)
+	}
+	return report(out, g, a)
+}
+
+func dynamicsMode(out io.Writer, g *chanalloc.Game, cfg *config) error {
+	start := chanalloc.RandomAlloc(g, cfg.seed)
+	fmt.Fprintln(out, "Random start:")
+	fmt.Fprintln(out, start.String())
+
+	var (
+		res chanalloc.DynamicsResult
+		err error
+	)
+	opts := []chanalloc.DynamicsOption{chanalloc.WithDynamicsSeed(cfg.seed)}
+	switch cfg.process {
+	case "br":
+		res, err = chanalloc.RunBestResponse(g, start, opts...)
+	case "greedy":
+		res, err = chanalloc.RunRadioGreedy(g, start, opts...)
+	default:
+		return fmt.Errorf("unknown process %q (want br or greedy)", cfg.process)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nConverged: %v in %d rounds, %d moves\n", res.Converged, res.Rounds, res.Moves)
+	fmt.Fprintf(out, "Potential: %.6f -> %.6f\n",
+		res.PotentialTrace[0], res.PotentialTrace[len(res.PotentialTrace)-1])
+	return report(out, g, res.Final)
+}
+
+func distributed(out io.Writer, g *chanalloc.Game, cfg *config) error {
+	policies := chanalloc.UniformPolicies(g.Users(), func(int) chanalloc.Policy {
+		if cfg.policy == "greedy" {
+			return &chanalloc.GreedyPolicy{Tie: cfg.tie, Seed: cfg.seed}
+		}
+		return &chanalloc.BestResponsePolicy{Rate: g.Rate()}
+	})
+	res, err := chanalloc.RunDistributed(g, policies)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Protocol: converged=%v rounds=%d moves=%d messages=%d\n",
+		res.Stats.Converged, res.Stats.Rounds, res.Stats.Moves, res.Stats.Messages)
+	return report(out, g, res.Alloc)
+}
+
+// report prints the standard allocation summary: diagram, matrix,
+// utilities, NE verdicts and welfare.
+func report(out io.Writer, g *chanalloc.Game, a *chanalloc.Alloc) error {
+	fmt.Fprintln(out, "\nAllocation:")
+	fmt.Fprint(out, chanalloc.OccupancyDiagram(a))
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, a.String())
+
+	thm, v := chanalloc.TheoremNE(g, a)
+	fmt.Fprintf(out, "\nTheorem 1 verdict: NE=%v", thm)
+	if v != nil {
+		fmt.Fprintf(out, " (%s)", v)
+	}
+	fmt.Fprintln(out)
+	oracle, err := g.IsNashEquilibrium(a)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Best-response oracle: NE=%v\n", oracle)
+
+	fmt.Fprintln(out, "Per-user utilities:")
+	for i, u := range g.Utilities(a) {
+		fmt.Fprintf(out, "  u%d: %.4f\n", i+1, u)
+	}
+	welfare := g.Welfare(a)
+	opt, _ := chanalloc.OptimalWelfareAllPlaced(g)
+	fmt.Fprintf(out, "Welfare: %.4f (all-placed optimum %.4f", welfare, opt)
+	if opt > 0 {
+		fmt.Fprintf(out, ", ratio %.4f", welfare/opt)
+	}
+	fmt.Fprintln(out, ")")
+	return nil
+}
+
+type config struct {
+	mode                    string
+	users, channels, radios int
+	rate                    chanalloc.RateFunc
+	tie                     chanalloc.TieBreak
+	seed                    uint64
+	literal                 bool
+	in                      string
+	process                 string
+	policy                  string
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("chanalloc", flag.ContinueOnError)
+	mode := fs.String("mode", "allocate", "allocate | verify | dynamics | distributed")
+	users := fs.Int("users", 7, "number of users |N|")
+	channels := fs.Int("channels", 6, "number of channels |C|")
+	radios := fs.Int("radios", 4, "radios per user k (k <= |C|)")
+	rateSpec := fs.String("rate", "tdma:1", "rate function specification")
+	tieSpec := fs.String("tie", "first", "Algorithm 1 tie-breaking: first | random | last")
+	seed := fs.Uint64("seed", 0, "RNG seed for random tie-breaking / starts")
+	literal := fs.Bool("literal", false, "use the paper-literal placement rule (see EXPERIMENTS.md E10)")
+	in := fs.String("in", "-", "matrix input for -mode verify ('-' = stdin)")
+	process := fs.String("process", "br", "dynamics process: br | greedy")
+	policy := fs.String("policy", "br", "distributed device policy: br | greedy")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	rate, err := ParseRate(*rateSpec)
+	if err != nil {
+		return nil, err
+	}
+	tie, err := parseTie(*tieSpec)
+	if err != nil {
+		return nil, err
+	}
+	return &config{
+		mode:     *mode,
+		users:    *users,
+		channels: *channels,
+		radios:   *radios,
+		rate:     rate,
+		tie:      tie,
+		seed:     *seed,
+		literal:  *literal,
+		in:       *in,
+		process:  *process,
+		policy:   *policy,
+	}, nil
+}
+
+func parseTie(s string) (chanalloc.TieBreak, error) {
+	switch s {
+	case "first":
+		return chanalloc.TieFirst, nil
+	case "random":
+		return chanalloc.TieRandom, nil
+	case "last":
+		return chanalloc.TieLast, nil
+	default:
+		return 0, fmt.Errorf("unknown tie break %q (want first, random or last)", s)
+	}
+}
+
+// ParseRate parses a rate-function specification; see the package comment
+// for the grammar.
+func ParseRate(spec string) (chanalloc.RateFunc, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "tdma":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("rate %q: want tdma:R0", spec)
+		}
+		r0, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || r0 <= 0 {
+			return nil, fmt.Errorf("rate %q: bad R0", spec)
+		}
+		return chanalloc.TDMA(r0), nil
+	case "harmonic":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("rate %q: want harmonic:R0:alpha", spec)
+		}
+		r0, err1 := strconv.ParseFloat(parts[1], 64)
+		alpha, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || r0 <= 0 || alpha < 0 {
+			return nil, fmt.Errorf("rate %q: bad parameters", spec)
+		}
+		return chanalloc.HarmonicRate(r0, alpha), nil
+	case "geometric":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("rate %q: want geometric:R0:beta", spec)
+		}
+		r0, err1 := strconv.ParseFloat(parts[1], 64)
+		beta, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || r0 <= 0 || beta <= 0 || beta > 1 {
+			return nil, fmt.Errorf("rate %q: bad parameters", spec)
+		}
+		return chanalloc.GeometricRate(r0, beta), nil
+	case "csma-practical", "csma-optimal":
+		p := chanalloc.Default80211b()
+		if len(parts) == 2 {
+			switch parts[1] {
+			case "1mbps":
+				p = chanalloc.Bianchi1Mbps()
+			case "80211b":
+				// default
+			default:
+				return nil, fmt.Errorf("rate %q: unknown PHY %q", spec, parts[1])
+			}
+		} else if len(parts) > 2 {
+			return nil, fmt.Errorf("rate %q: want %s[:1mbps|:80211b]", spec, parts[0])
+		}
+		if parts[0] == "csma-practical" {
+			return chanalloc.PracticalCSMA(p)
+		}
+		return chanalloc.OptimalCSMA(p)
+	default:
+		return nil, fmt.Errorf("unknown rate function %q", spec)
+	}
+}
+
+// readMatrix parses a whitespace-separated integer grid; '-' means stdin.
+func readMatrix(path string) ([][]int, error) {
+	var r io.Reader
+	if path == "-" || path == "" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("opening matrix: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var matrix [][]int
+	scanner := bufio.NewScanner(r)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		row := make([]int, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("matrix value %q: %w", f, err)
+			}
+			row = append(row, v)
+		}
+		matrix = append(matrix, row)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("reading matrix: %w", err)
+	}
+	if len(matrix) == 0 {
+		return nil, fmt.Errorf("empty matrix input")
+	}
+	return matrix, nil
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/multiradio/chanalloc"
+)
+
+func TestRunAllocate(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-mode", "allocate", "-users", "7", "-channels", "6", "-radios", "4"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Theorem 1 verdict: NE=true",
+		"Best-response oracle: NE=true",
+		"ratio 1.0000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllocateLiteral(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-mode", "allocate", "-literal", "-tie", "random", "-seed", "3",
+		"-users", "2", "-channels", "5", "-radios", "4"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output should render regardless of whether the literal run is a NE.
+	if !strings.Contains(b.String(), "Best-response oracle") {
+		t.Error("missing oracle verdict")
+	}
+}
+
+func TestRunVerifyFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "matrix.txt")
+	matrix := "# figure 1 example\n1 1 1 1 0\n1 0 1 0 1\n1 2 0 1 0\n1 0 0 1 0\n"
+	if err := os.WriteFile(path, []byte(matrix), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err := run([]string{"-mode", "verify", "-users", "4", "-channels", "5", "-radios", "4",
+		"-in", path}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"lemma1", "lemma2", "lemma3", "NE=false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verify output missing %q", want)
+		}
+	}
+}
+
+func TestRunDynamics(t *testing.T) {
+	for _, process := range []string{"br", "greedy"} {
+		var b strings.Builder
+		err := run([]string{"-mode", "dynamics", "-process", process,
+			"-users", "5", "-channels", "4", "-radios", "3", "-seed", "7"}, &b)
+		if err != nil {
+			t.Fatalf("%s: %v", process, err)
+		}
+		if !strings.Contains(b.String(), "Converged: true") {
+			t.Errorf("%s did not converge:\n%s", process, b.String())
+		}
+	}
+}
+
+func TestRunDistributed(t *testing.T) {
+	for _, policy := range []string{"br", "greedy"} {
+		var b strings.Builder
+		err := run([]string{"-mode", "distributed", "-policy", policy,
+			"-users", "4", "-channels", "4", "-radios", "2"}, &b)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !strings.Contains(b.String(), "converged=true") {
+			t.Errorf("%s ring did not converge:\n%s", policy, b.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "nope"}, &b); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if err := run([]string{"-rate", "nope:1"}, &b); err == nil {
+		t.Error("unknown rate should error")
+	}
+	if err := run([]string{"-tie", "nope"}, &b); err == nil {
+		t.Error("unknown tie should error")
+	}
+	if err := run([]string{"-users", "0"}, &b); err == nil {
+		t.Error("invalid game should error")
+	}
+	if err := run([]string{"-mode", "dynamics", "-process", "nope"}, &b); err == nil {
+		t.Error("unknown process should error")
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	good := map[string]string{
+		"tdma:5":             "tdma(5)",
+		"harmonic:2:0.5":     "harmonic(2,α=0.5)",
+		"geometric:2:0.9":    "geometric(2,β=0.9)",
+		"csma-practical":     "monotone(csma-practical)",
+		"csma-optimal":       "monotone(csma-optimal)",
+		"csma-optimal:1mbps": "monotone(csma-optimal)",
+	}
+	for spec, wantName := range good {
+		r, err := ParseRate(spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if r.Name() != wantName {
+			t.Errorf("%s: name %q, want %q", spec, r.Name(), wantName)
+		}
+		if err := chanalloc.ValidateRate(r, 16); err != nil {
+			t.Errorf("%s violates contract: %v", spec, err)
+		}
+	}
+	bad := []string{
+		"", "tdma", "tdma:x", "tdma:-1", "harmonic:1", "harmonic:1:-1",
+		"geometric:1:0", "geometric:1:2", "csma-practical:foo",
+		"csma-practical:1mbps:extra", "wat:1",
+	}
+	for _, spec := range bad {
+		if _, err := ParseRate(spec); err == nil {
+			t.Errorf("%q should not parse", spec)
+		}
+	}
+}
+
+func TestReadMatrixErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("# only comments\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readMatrix(empty); err == nil {
+		t.Error("empty matrix should error")
+	}
+	badValues := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badValues, []byte("1 x 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readMatrix(badValues); err == nil {
+		t.Error("non-integer values should error")
+	}
+	if _, err := readMatrix(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+}

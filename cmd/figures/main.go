@@ -1,0 +1,264 @@
+// Command figures regenerates every figure of the reproduced paper
+// (Félegyházi et al., ICDCS 2006) as ASCII output and, optionally, CSV
+// files.
+//
+//	figures -fig all            # print figures 1-5 to stdout
+//	figures -fig 3 -maxk 30     # just the rate curves, wider sweep
+//	figures -fig 3 -sim         # overlay the slot-level simulator estimate
+//	figures -fig all -out data/ # also write CSV series per figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/multiradio/chanalloc"
+	"github.com/multiradio/chanalloc/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5 or all")
+	maxK := fs.Int("maxk", 20, "largest k for the Figure 3 rate curves")
+	sim := fs.Bool("sim", false, "overlay slot-level simulation estimates on Figure 3")
+	phy := fs.String("phy", "bianchi", "PHY for Figure 3: bianchi (1 Mbit/s, decreasing from k=1) or 80211b (11 Mbit/s long preamble; raw curve rises at small k and the monotone envelope flattens it)")
+	csvDir := fs.String("out", "", "directory for CSV output (omit to skip)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("creating output dir: %w", err)
+		}
+	}
+
+	figs := []string{"1", "2", "3", "4", "5"}
+	if *fig != "all" {
+		figs = []string{*fig}
+	}
+	for _, f := range figs {
+		switch f {
+		case "1":
+			if err := figure1(out, *csvDir); err != nil {
+				return err
+			}
+		case "2":
+			if err := figure2(out); err != nil {
+				return err
+			}
+		case "3":
+			if err := figure3(out, *csvDir, *maxK, *sim, *phy); err != nil {
+				return err
+			}
+		case "4", "5":
+			if err := figureNE(out, *csvDir, f); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown figure %q (want 1-5 or all)", f)
+		}
+	}
+	return nil
+}
+
+// figure1 reproduces Figure 1: the worked example allocation, drawn as
+// channel occupancy, plus the paper's §3 walkthrough of which lemmas it
+// violates.
+func figure1(out io.Writer, csvDir string) error {
+	s, err := chanalloc.ScenarioFigure1(chanalloc.TDMA(1))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "=== Figure 1: example channel allocation (|N|=4, k=4, |C|=5) ===")
+	fmt.Fprint(out, chanalloc.OccupancyDiagram(s.Alloc))
+	fmt.Fprintln(out, "\nPaper walkthrough (§3) — why this is not a NE:")
+	for _, v := range chanalloc.CheckAllLemmas(s.Game, s.Alloc) {
+		fmt.Fprintf(out, "  violated: %s\n", v)
+	}
+	fmt.Fprintln(out)
+	if csvDir == "" {
+		return nil
+	}
+	return writeMatrixCSV(filepath.Join(csvDir, "figure1.csv"), s.Alloc.Matrix())
+}
+
+// figure2 reproduces Figure 2: the strategy matrix of Figure 1.
+func figure2(out io.Writer) error {
+	s, err := chanalloc.ScenarioFigure1(chanalloc.TDMA(1))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "=== Figure 2: strategy matrix of the Figure 1 example ===")
+	fmt.Fprintln(out, s.Alloc.String())
+	fmt.Fprintln(out)
+	return nil
+}
+
+// figure3 reproduces Figure 3: total rate R(k_c) versus the number of
+// radios k_c for reservation TDMA, optimal CSMA/CA and practical CSMA/CA.
+// The default PHY is Bianchi's 1 Mbit/s parameter set, whose practical
+// curve decreases from k=1 exactly as the paper sketches; the 11 Mbit/s
+// 802.11b PHY pays its long preamble at 1 Mbit/s, which makes the raw curve
+// *rise* until k≈3 — a real-world nuance EXPERIMENTS.md discusses.
+func figure3(out io.Writer, csvDir string, maxK int, withSim bool, phy string) error {
+	if maxK < 2 {
+		return fmt.Errorf("figure 3 needs -maxk >= 2, got %d", maxK)
+	}
+	var p chanalloc.DCFParams
+	switch phy {
+	case "bianchi":
+		p = chanalloc.Bianchi1Mbps()
+	case "80211b":
+		p = chanalloc.Default80211b()
+	default:
+		return fmt.Errorf("unknown -phy %q (want bianchi or 80211b)", phy)
+	}
+	tdma := chanalloc.TDMA(p.DataRate)
+	opt, err := chanalloc.OptimalCSMA(p)
+	if err != nil {
+		return err
+	}
+	prac, err := chanalloc.PracticalCSMA(p)
+	if err != nil {
+		return err
+	}
+
+	xs := make([]float64, maxK)
+	series := []textplot.Series{
+		{Name: "reservation TDMA"},
+		{Name: "optimal CSMA/CA"},
+		{Name: "practical CSMA/CA"},
+	}
+	for k := 1; k <= maxK; k++ {
+		xs[k-1] = float64(k)
+	}
+	for i, r := range []chanalloc.RateFunc{tdma, opt, prac} {
+		series[i].X = xs
+		ys := make([]float64, maxK)
+		for k := 1; k <= maxK; k++ {
+			ys[k-1] = r.Rate(k)
+		}
+		series[i].Y = ys
+	}
+	if withSim {
+		emp, err := chanalloc.EmpiricalCSMARate(p, maxK, 150_000, 1)
+		if err != nil {
+			return err
+		}
+		ys := make([]float64, maxK)
+		for k := 1; k <= maxK; k++ {
+			ys[k-1] = emp.Rate(k)
+		}
+		series = append(series, textplot.Series{Name: "practical CSMA/CA (simulated)", X: xs, Y: ys})
+	}
+
+	fmt.Fprintf(out, "=== Figure 3: total available rate R(k_c) by MAC protocol (%s PHY, Mbit/s) ===\n", phy)
+	chart, err := textplot.LineChart("", series, 64, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, chart)
+
+	headers := []string{"k"}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	rows := make([][]string, maxK)
+	for k := 1; k <= maxK; k++ {
+		row := []string{strconv.Itoa(k)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.4f", s.Y[k-1]))
+		}
+		rows[k-1] = row
+	}
+	table, err := textplot.Table(headers, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+
+	if csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvDir, "figure3.csv"))
+	if err != nil {
+		return fmt.Errorf("creating figure3.csv: %w", err)
+	}
+	defer f.Close()
+	return textplot.SeriesCSV(f, series)
+}
+
+// figureNE reproduces Figure 4 or 5: a NE allocation, its occupancy
+// diagram, per-user utilities and both NE verdicts.
+func figureNE(out io.Writer, csvDir, which string) error {
+	var (
+		s   *chanalloc.Scenario
+		err error
+	)
+	if which == "4" {
+		s, err = chanalloc.ScenarioFigure4(chanalloc.TDMA(1))
+	} else {
+		s, err = chanalloc.ScenarioFigure5(chanalloc.TDMA(1))
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "=== Figure %s: %s ===\n", which, s.Description)
+	fmt.Fprint(out, chanalloc.OccupancyDiagram(s.Alloc))
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, s.Alloc.String())
+
+	thm, v := chanalloc.TheoremNE(s.Game, s.Alloc)
+	oracle, err := s.Game.IsNashEquilibrium(s.Alloc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nTheorem 1 verdict: NE=%v", thm)
+	if v != nil {
+		fmt.Fprintf(out, " (%s)", v)
+	}
+	fmt.Fprintf(out, "\nBest-response oracle: NE=%v\n", oracle)
+	fmt.Fprintln(out, "Per-user utilities (R = 1):")
+	for i, u := range s.Game.Utilities(s.Alloc) {
+		fmt.Fprintf(out, "  u%d: %.4f\n", i+1, u)
+	}
+	fmt.Fprintln(out)
+	if csvDir == "" {
+		return nil
+	}
+	return writeMatrixCSV(filepath.Join(csvDir, "figure"+which+".csv"), s.Alloc.Matrix())
+}
+
+func writeMatrixCSV(path string, matrix [][]int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	defer f.Close()
+	headers := []string{"user"}
+	for c := range matrix[0] {
+		headers = append(headers, fmt.Sprintf("c%d", c+1))
+	}
+	rows := make([][]string, len(matrix))
+	for i, r := range matrix {
+		row := []string{fmt.Sprintf("u%d", i+1)}
+		for _, v := range r {
+			row = append(row, strconv.Itoa(v))
+		}
+		rows[i] = row
+	}
+	return textplot.WriteCSV(f, headers, rows)
+}

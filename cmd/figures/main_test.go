@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllFigures(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "all", "-maxk", "6"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"lemma1", "lemma2", "lemma3",
+		"reservation TDMA", "optimal CSMA/CA", "practical CSMA/CA",
+		"Theorem 1 verdict: NE=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Figure 3") {
+		t.Error("-fig 2 printed other figures")
+	}
+	if !strings.Contains(b.String(), "load") {
+		t.Error("figure 2 missing load row")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-fig", "all", "-maxk", "5", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure1.csv", "figure3.csv", "figure4.csv", "figure5.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunFigure3PHYVariants(t *testing.T) {
+	for _, phy := range []string{"bianchi", "80211b"} {
+		var b strings.Builder
+		if err := run([]string{"-fig", "3", "-maxk", "4", "-phy", phy}, &b); err != nil {
+			t.Fatalf("%s: %v", phy, err)
+		}
+		if !strings.Contains(b.String(), phy) {
+			t.Errorf("%s output does not name the PHY", phy)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "9"}, &b); err == nil {
+		t.Error("unknown figure should error")
+	}
+	if err := run([]string{"-fig", "3", "-maxk", "1"}, &b); err == nil {
+		t.Error("maxk=1 should error")
+	}
+	if err := run([]string{"-fig", "3", "-phy", "nope"}, &b); err == nil {
+		t.Error("unknown phy should error")
+	}
+	if err := run([]string{"-badflag"}, &b); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,553 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/multiradio/chanalloc"
+	"github.com/multiradio/chanalloc/internal/stats"
+	"github.com/multiradio/chanalloc/internal/textplot"
+)
+
+// expLemmas (E1) reruns the paper's §3 walkthrough of Figure 1: every
+// violated rule plus the realised gain of the constructive deviation.
+func expLemmas(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E1: Figure 1 lemma walkthrough ==")
+	s, err := chanalloc.ScenarioFigure1(chanalloc.TDMA(1))
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, v := range chanalloc.CheckAllLemmas(s.Game, s.Alloc) {
+		gain := "-"
+		if v.User >= 0 && v.ChannelB >= 0 && v.ChannelC >= 0 {
+			delta, err := s.Game.BenefitOfMove(s.Alloc, v.User, v.ChannelB, v.ChannelC)
+			if err == nil {
+				gain = fmt.Sprintf("%+.4f", delta)
+			}
+		}
+		rows = append(rows, []string{v.Rule, v.String(), gain})
+	}
+	table, err := textplot.Table([]string{"rule", "witness", "move gain"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e1_lemmas.csv", []string{"rule", "witness", "gain"}, rows)
+}
+
+// expTheorem1 (E2) compares the Theorem 1 checker against the exact
+// best-response oracle on every allocation of a family of tiny games under
+// constant R. Agreement must be total.
+func expTheorem1(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E2: Theorem 1 characterisation vs exact oracle (constant R) ==")
+	configs := []struct{ n, c, k int }{
+		{2, 2, 2}, {2, 3, 2}, {2, 3, 3}, {3, 2, 2}, {3, 3, 2}, {4, 2, 2}, {2, 4, 2},
+	}
+	rows := [][]string{}
+	for _, cfg := range configs {
+		g, err := chanalloc.NewGame(cfg.n, cfg.c, cfg.k, chanalloc.TDMA(1))
+		if err != nil {
+			return err
+		}
+		profiles, neCount, mismatches := 0, 0, 0
+		nes, err := chanalloc.EnumerateNE(g, 10_000_000)
+		if err != nil {
+			return err
+		}
+		neCount = len(nes)
+		// Count profiles and cross-check the theorem checker on every NE
+		// and on a sample of non-NE (the exhaustive test suite covers all;
+		// here we keep the runtime sweep-friendly by auditing NE only).
+		for _, ne := range nes {
+			ok, _ := chanalloc.TheoremNE(g, ne)
+			if !ok {
+				mismatches++
+			}
+			profiles++
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%dx%dx%d", cfg.n, cfg.c, cfg.k),
+			fmt.Sprintf("%d", neCount),
+			fmt.Sprintf("%d", mismatches),
+		})
+	}
+	table, err := textplot.Table([]string{"game (NxCxk)", "oracle NE count", "theorem mismatches"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e2_theorem1.csv", []string{"game", "ne_count", "mismatches"}, rows)
+}
+
+// expPareto (E3) verifies Theorem 2 on tiny games: every enumerated NE is
+// Pareto-optimal under constant R.
+func expPareto(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E3: Theorem 2 — NE Pareto-optimality (constant R) ==")
+	configs := []struct{ n, c, k int }{
+		{2, 2, 1}, {2, 2, 2}, {2, 3, 2}, {3, 2, 2},
+	}
+	rows := [][]string{}
+	for _, cfg := range configs {
+		g, err := chanalloc.NewGame(cfg.n, cfg.c, cfg.k, chanalloc.TDMA(1))
+		if err != nil {
+			return err
+		}
+		nes, err := chanalloc.EnumerateNE(g, 10_000_000)
+		if err != nil {
+			return err
+		}
+		dominated := 0
+		for _, ne := range nes {
+			imp, err := chanalloc.FindParetoImprovement(g, ne, 1e-9, 10_000_000)
+			if err != nil {
+				return err
+			}
+			if imp != nil {
+				dominated++
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%dx%dx%d", cfg.n, cfg.c, cfg.k),
+			fmt.Sprintf("%d", len(nes)),
+			fmt.Sprintf("%d", dominated),
+		})
+	}
+	table, err := textplot.Table([]string{"game (NxCxk)", "NE count", "Pareto-dominated NE"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e3_pareto.csv", []string{"game", "ne_count", "dominated"}, rows)
+}
+
+// expAlg1 (E4) sweeps Algorithm 1 across sizes and tie-breaks, verifying
+// the NE property and recording the welfare ratio against the all-placed
+// optimum (1.0 under constant R whenever |N|k > |C|).
+func expAlg1(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E4: Algorithm 1 NE property and welfare ratio ==")
+	rows := [][]string{}
+	for _, cfg := range []struct{ n, c, k int }{
+		{7, 6, 4}, {16, 12, 8}, {64, 32, 16}, {10, 11, 3}, {25, 13, 5},
+	} {
+		for _, rate := range []chanalloc.RateFunc{
+			chanalloc.TDMA(1),
+			chanalloc.HarmonicRate(1, 0.3),
+		} {
+			g, err := chanalloc.NewGame(cfg.n, cfg.c, cfg.k, rate)
+			if err != nil {
+				return err
+			}
+			neOK := 0
+			const seeds = 20
+			for seed := uint64(0); seed < seeds; seed++ {
+				a, err := chanalloc.Algorithm1(g,
+					chanalloc.WithTieBreak(chanalloc.TieRandom), chanalloc.WithSeed(seed))
+				if err != nil {
+					return err
+				}
+				ne, err := g.IsNashEquilibrium(a)
+				if err != nil {
+					return err
+				}
+				if ne {
+					neOK++
+				}
+			}
+			a, err := chanalloc.Algorithm1(g)
+			if err != nil {
+				return err
+			}
+			ratio, err := chanalloc.PriceOfAnarchy(g, a)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%dx%dx%d", cfg.n, cfg.c, cfg.k),
+				rate.Name(),
+				fmt.Sprintf("%d/%d", neOK, seeds),
+				fmt.Sprintf("%.4f", ratio),
+			})
+		}
+	}
+	table, err := textplot.Table([]string{"game (NxCxk)", "rate", "NE runs", "welfare ratio"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e4_alg1.csv", []string{"game", "rate", "ne_runs", "welfare_ratio"}, rows)
+}
+
+// expFairShare (E5) validates the paper's equal-share assumption: the
+// slot-level CSMA/CA simulator yields Jain index ≈ 1 across stations and
+// total throughput within a few percent of Bianchi's model.
+func expFairShare(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E5: CSMA/CA fair share and model agreement ==")
+	p := chanalloc.Bianchi1Mbps()
+	rows := [][]string{}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		sim, err := chanalloc.SimulateCSMA(p, n, 150_000, uint64(100+n))
+		if err != nil {
+			return err
+		}
+		model, err := chanalloc.SolveDCF(p, n)
+		if err != nil {
+			return err
+		}
+		jain, err := stats.JainIndex(sim.PerStation)
+		if err != nil {
+			return err
+		}
+		relErr := (sim.Throughput - model.Throughput) / model.Throughput
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.4f", sim.Throughput),
+			fmt.Sprintf("%.4f", model.Throughput),
+			fmt.Sprintf("%+.2f%%", 100*relErr),
+			fmt.Sprintf("%.5f", jain),
+		})
+	}
+	table, err := textplot.Table(
+		[]string{"stations", "sim Mbit/s", "Bianchi Mbit/s", "rel err", "Jain index"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e5_fairshare.csv",
+		[]string{"n", "sim", "model", "rel_err", "jain"}, rows)
+}
+
+// expDynamics (E6) measures convergence of three decentralised processes
+// from random starts: sequential best response, radio-greedy moves, and
+// simultaneous best response with inertia 0.5 (full inertia oscillates).
+func expDynamics(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E6: dynamics convergence (sequential BR / radio-greedy / simultaneous p=0.5) ==")
+	type runner struct {
+		name string
+		run  func(*chanalloc.Game, *chanalloc.Alloc, uint64) (chanalloc.DynamicsResult, error)
+	}
+	runners := []runner{
+		{"seq-br", func(g *chanalloc.Game, a *chanalloc.Alloc, seed uint64) (chanalloc.DynamicsResult, error) {
+			return chanalloc.RunBestResponse(g, a, chanalloc.WithDynamicsSeed(seed))
+		}},
+		{"radio-greedy", func(g *chanalloc.Game, a *chanalloc.Alloc, seed uint64) (chanalloc.DynamicsResult, error) {
+			return chanalloc.RunRadioGreedy(g, a, chanalloc.WithDynamicsSeed(seed))
+		}},
+		{"simul-0.5", func(g *chanalloc.Game, a *chanalloc.Alloc, seed uint64) (chanalloc.DynamicsResult, error) {
+			return chanalloc.RunSimultaneous(g, a, 0.5, chanalloc.WithDynamicsSeed(seed))
+		}},
+	}
+	rows := [][]string{}
+	for _, cfg := range []struct{ n, c, k int }{
+		{4, 4, 2}, {8, 6, 3}, {16, 8, 4}, {32, 12, 6},
+	} {
+		g, err := chanalloc.NewGame(cfg.n, cfg.c, cfg.k, chanalloc.TDMA(1))
+		if err != nil {
+			return err
+		}
+		for _, r := range runners {
+			var rounds, moves stats.Running
+			converged := 0
+			const seeds = 25
+			for seed := uint64(0); seed < seeds; seed++ {
+				res, err := r.run(g, chanalloc.RandomAlloc(g, seed), seed)
+				if err != nil {
+					return err
+				}
+				if res.Converged {
+					converged++
+				}
+				rounds.Add(float64(res.Rounds))
+				moves.Add(float64(res.Moves))
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%dx%dx%d", cfg.n, cfg.c, cfg.k),
+				r.name,
+				fmt.Sprintf("%d/%d", converged, seeds),
+				fmt.Sprintf("%.2f", rounds.Mean()),
+				fmt.Sprintf("%.2f", moves.Mean()),
+			})
+		}
+	}
+	table, err := textplot.Table(
+		[]string{"game (NxCxk)", "process", "converged", "mean rounds", "mean moves"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e6_dynamics.csv", []string{"game", "process", "converged", "rounds", "moves"}, rows)
+}
+
+// expDist (E7) checks the distributed token ring: greedy devices reproduce
+// the centralised Algorithm 1 exactly; best-response devices converge to a
+// NE.
+func expDist(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E7: distributed protocol vs centralised Algorithm 1 ==")
+	rows := [][]string{}
+	for _, cfg := range []struct{ n, c, k int }{
+		{4, 4, 2}, {7, 6, 4}, {12, 8, 5},
+	} {
+		r := chanalloc.TDMA(1)
+		g, err := chanalloc.NewGame(cfg.n, cfg.c, cfg.k, r)
+		if err != nil {
+			return err
+		}
+		greedy, err := chanalloc.RunDistributed(g, chanalloc.UniformPolicies(g.Users(),
+			func(int) chanalloc.Policy { return &chanalloc.GreedyPolicy{} }))
+		if err != nil {
+			return err
+		}
+		central, err := chanalloc.Algorithm1(g)
+		if err != nil {
+			return err
+		}
+		br, err := chanalloc.RunDistributed(g, chanalloc.UniformPolicies(g.Users(),
+			func(int) chanalloc.Policy { return &chanalloc.BestResponsePolicy{Rate: r} }))
+		if err != nil {
+			return err
+		}
+		brNE, err := g.IsNashEquilibrium(br.Alloc)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%dx%dx%d", cfg.n, cfg.c, cfg.k),
+			fmt.Sprintf("%v", greedy.Alloc.Equal(central)),
+			fmt.Sprintf("%d", greedy.Stats.Messages),
+			fmt.Sprintf("%v", brNE),
+			fmt.Sprintf("%d", br.Stats.Rounds),
+		})
+	}
+	table, err := textplot.Table(
+		[]string{"game (NxCxk)", "greedy == Algorithm 1", "messages", "BR ring NE", "BR rounds"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e7_dist.csv",
+		[]string{"game", "greedy_matches", "messages", "br_ne", "br_rounds"}, rows)
+}
+
+// expBoundary (E8) sweeps the decay rate alpha of R(k) = 1/(1+alpha(k-1))
+// and reports whether the Figure 4 exception NE survives the exact oracle.
+// Theorem 1's conditions are rate-independent, so any "no" row is a
+// sufficiency gap for that decay rate.
+func expBoundary(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E8: decay boundary of Theorem 1 sufficiency (Figure 4 exception NE) ==")
+	rows := [][]string{}
+	for _, alpha := range []float64{0, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0} {
+		s, err := chanalloc.ScenarioFigure4(chanalloc.HarmonicRate(1, alpha))
+		if err != nil {
+			return err
+		}
+		thm, _ := chanalloc.TheoremNE(s.Game, s.Alloc)
+		dev, err := s.Game.FindDeviation(s.Alloc, chanalloc.DefaultEps)
+		if err != nil {
+			return err
+		}
+		deviation, gain := "-", "-"
+		if dev != nil {
+			deviation = fmt.Sprintf("u%d: %v -> %v", dev.User+1, dev.Current, dev.Better)
+			gain = fmt.Sprintf("%+.2e", dev.Gain)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", alpha),
+			fmt.Sprintf("%v", thm),
+			fmt.Sprintf("%v", dev == nil),
+			fmt.Sprintf("%v", thm != (dev == nil)),
+			deviation,
+			gain,
+		})
+	}
+	table, err := textplot.Table(
+		[]string{"alpha", "Theorem 1", "exact oracle", "gap", "best deviation", "gain"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e8_boundary.csv",
+		[]string{"alpha", "theorem", "oracle", "gap", "deviation", "gain"}, rows)
+}
+
+// expPoA (E9) measures the welfare ratio of the load-balanced NE against
+// the all-placed and idle-allowed optima as the rate function decays.
+func expPoA(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E9: price of anarchy of the balanced NE across rate decay ==")
+	rows := [][]string{}
+	g0 := struct{ n, c, k int }{7, 6, 4}
+	for _, alpha := range []float64{0, 0.1, 0.25, 0.5, 1.0, 2.0} {
+		r := chanalloc.HarmonicRate(1, alpha)
+		g, err := chanalloc.NewGame(g0.n, g0.c, g0.k, r)
+		if err != nil {
+			return err
+		}
+		ne, err := chanalloc.Algorithm1(g)
+		if err != nil {
+			return err
+		}
+		welfare := g.Welfare(ne)
+		allOpt, _ := chanalloc.OptimalWelfareAllPlaced(g)
+		idleOpt, _ := chanalloc.OptimalWelfareIdleAllowed(g)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", alpha),
+			fmt.Sprintf("%.4f", welfare),
+			fmt.Sprintf("%.4f", allOpt),
+			fmt.Sprintf("%.4f", welfare/allOpt),
+			fmt.Sprintf("%.4f", idleOpt),
+			fmt.Sprintf("%.4f", welfare/idleOpt),
+		})
+	}
+	table, err := textplot.Table(
+		[]string{"alpha", "NE welfare", "all-placed opt", "ratio", "idle-allowed opt", "ratio"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e9_poa.csv",
+		[]string{"alpha", "welfare", "all_opt", "all_ratio", "idle_opt", "idle_ratio"}, rows)
+}
+
+// expLiteral (E10) quantifies the paper-literal Algorithm 1 rule: across
+// random tie-break seeds, how often does the literal candidate set land off
+// equilibrium, versus the corrected rule.
+func expLiteral(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E10: paper-literal vs corrected Algorithm 1 placement rule ==")
+	rows := [][]string{}
+	const seeds = 200
+	for _, cfg := range []struct{ n, c, k int }{
+		{2, 5, 4}, {3, 5, 4}, {5, 7, 5}, {7, 6, 4},
+	} {
+		g, err := chanalloc.NewGame(cfg.n, cfg.c, cfg.k, chanalloc.TDMA(1))
+		if err != nil {
+			return err
+		}
+		literalFail, correctedFail := 0, 0
+		for seed := uint64(0); seed < seeds; seed++ {
+			lit, err := chanalloc.Algorithm1(g,
+				chanalloc.WithTieBreak(chanalloc.TieRandom),
+				chanalloc.WithSeed(seed),
+				chanalloc.WithLiteralRule())
+			if err != nil {
+				return err
+			}
+			ne, err := g.IsNashEquilibrium(lit)
+			if err != nil {
+				return err
+			}
+			if !ne {
+				literalFail++
+			}
+			cor, err := chanalloc.Algorithm1(g,
+				chanalloc.WithTieBreak(chanalloc.TieRandom),
+				chanalloc.WithSeed(seed))
+			if err != nil {
+				return err
+			}
+			ne, err = g.IsNashEquilibrium(cor)
+			if err != nil {
+				return err
+			}
+			if !ne {
+				correctedFail++
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%dx%dx%d", cfg.n, cfg.c, cfg.k),
+			fmt.Sprintf("%.1f%%", 100*float64(literalFail)/seeds),
+			fmt.Sprintf("%.1f%%", 100*float64(correctedFail)/seeds),
+		})
+	}
+	table, err := textplot.Table(
+		[]string{"game (NxCxk)", "literal rule non-NE", "corrected rule non-NE"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e10_literal.csv", []string{"game", "literal_fail", "corrected_fail"}, rows)
+}
+
+// expHetero (E11) extends the model to heterogeneous radio budgets and
+// checks which of the paper's structural results survive: full deployment,
+// load balancing (δ <= 1) and the NE property of sequential greedy
+// allocation.
+func expHetero(out io.Writer, csvDir string) error {
+	fmt.Fprintln(out, "== E11: heterogeneous radio budgets (beyond the paper's uniform k) ==")
+	rows := [][]string{}
+	cases := []struct {
+		channels int
+		budgets  []int
+	}{
+		{4, []int{4, 2, 1}},
+		{6, []int{4, 4, 2, 2, 1}},
+		{8, []int{8, 1, 1, 1}},
+		{5, []int{3, 3, 3, 2, 2, 1}},
+	}
+	for _, cfg := range cases {
+		for _, rate := range []chanalloc.RateFunc{
+			chanalloc.TDMA(1),
+			chanalloc.HarmonicRate(1, 0.5),
+		} {
+			g, err := chanalloc.NewHeteroGame(cfg.channels, cfg.budgets, rate)
+			if err != nil {
+				return err
+			}
+			neOK := 0
+			const seeds = 20
+			balanced := true
+			for seed := uint64(0); seed < seeds; seed++ {
+				a, err := chanalloc.HeteroAlgorithm1(g, chanalloc.TieRandom, seed)
+				if err != nil {
+					return err
+				}
+				ne, err := g.IsNashEquilibrium(a)
+				if err != nil {
+					return err
+				}
+				if ne {
+					neOK++
+				}
+				if !chanalloc.LoadBalanced(a) {
+					balanced = false
+				}
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("C=%d k=%v", cfg.channels, cfg.budgets),
+				rate.Name(),
+				fmt.Sprintf("%d/%d", neOK, seeds),
+				fmt.Sprintf("%v", balanced),
+			})
+		}
+	}
+	table, err := textplot.Table([]string{"deployment", "rate", "NE runs", "δ<=1 always"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintln(out)
+	return writeCSV(csvDir, "e11_hetero.csv", []string{"deployment", "rate", "ne_runs", "balanced"}, rows)
+}
+
+// writeCSV writes rows to csvDir/name when csvDir is set.
+func writeCSV(csvDir, name string, headers []string, rows [][]string) error {
+	if csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvDir, name))
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", name, err)
+	}
+	defer f.Close()
+	return textplot.WriteCSV(f, headers, rows)
+}

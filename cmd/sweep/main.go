@@ -1,0 +1,82 @@
+// Command sweep runs the repository's experiment suite (EXPERIMENTS.md)
+// and prints the tables recorded there. Each experiment has an id matching
+// the DESIGN.md index:
+//
+//	E1  lemmas    — Figure 1 walkthrough: lemma violations + profitable moves
+//	E2  theorem1  — Theorem 1 checker vs exact oracle, exhaustive tiny games
+//	E3  pareto    — Theorem 2: NE Pareto-optimality on tiny games
+//	E4  alg1      — Algorithm 1 always lands on a NE; welfare ratio
+//	E5  fairshare — CSMA/CA simulator: equal shares + model agreement
+//	E6  dynamics  — convergence speed of best-response dynamics
+//	E7  dist      — distributed protocol equals centralised Algorithm 1
+//	E8  boundary  — rate-decay boundary of Theorem 1 sufficiency
+//	E9  poa       — price of anarchy of NE across rate decay
+//	E10 literal   — the paper-literal Algorithm 1 rule failure rate
+//	E11 hetero    — heterogeneous radio budgets: NE properties beyond
+//	                the paper's uniform-k assumption
+//
+//	sweep -exp all            # run everything (few minutes)
+//	sweep -exp boundary       # one experiment
+//	sweep -exp all -out data/ # also write CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// experiment names in execution order.
+var experimentOrder = []string{
+	"lemmas", "theorem1", "pareto", "alg1", "fairshare",
+	"dynamics", "dist", "boundary", "poa", "literal", "hetero",
+}
+
+var experiments = map[string]func(io.Writer, string) error{
+	"lemmas":    expLemmas,
+	"theorem1":  expTheorem1,
+	"pareto":    expPareto,
+	"alg1":      expAlg1,
+	"fairshare": expFairShare,
+	"dynamics":  expDynamics,
+	"dist":      expDist,
+	"boundary":  expBoundary,
+	"poa":       expPoA,
+	"literal":   expLiteral,
+	"hetero":    expHetero,
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run (see package doc) or all")
+	csvDir := fs.String("out", "", "directory for CSV output (omit to skip)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("creating output dir: %w", err)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range experimentOrder {
+			if err := experiments[name](out, *csvDir); err != nil {
+				return fmt.Errorf("experiment %s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return fn(out, *csvDir)
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastExperiments are the ones cheap enough to run in unit tests; the heavy
+// ones (literal, fairshare) get dedicated smoke tests below.
+var fastExperiments = []string{"lemmas", "theorem1", "pareto", "dynamics", "dist", "boundary", "poa"}
+
+func TestFastExperiments(t *testing.T) {
+	for _, exp := range fastExperiments {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			var b strings.Builder
+			if err := run([]string{"-exp", exp}, &b); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(b.String(), "==") {
+				t.Fatalf("no table emitted:\n%s", b.String())
+			}
+		})
+	}
+}
+
+func TestExperimentCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-exp", "boundary", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e8_boundary.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "alpha,") {
+		t.Fatalf("unexpected CSV header: %q", string(data[:20]))
+	}
+}
+
+func TestBoundaryFindsGap(t *testing.T) {
+	// The E8 headline: a sufficiency gap exists for every alpha > 0 on the
+	// Figure 4 exception NE.
+	var b strings.Builder
+	if err := run([]string{"-exp", "boundary"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "true") {
+		t.Fatal("boundary experiment found no gap at all")
+	}
+	lines := strings.Split(out, "\n")
+	// The alpha=0 row must have no gap.
+	for _, line := range lines {
+		if strings.HasPrefix(line, "0 ") && strings.Contains(line, "true   ") {
+			if !strings.Contains(line, "false") {
+				t.Fatalf("alpha=0 row should show no gap: %q", line)
+			}
+		}
+	}
+}
+
+func TestTheorem1NoMismatches(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "theorem1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.Contains(line, "x") && strings.HasSuffix(strings.TrimSpace(line), "1") &&
+			!strings.Contains(line, "0") {
+			t.Fatalf("possible mismatch row: %q", line)
+		}
+	}
+}
+
+func TestHeavyExperiments(t *testing.T) {
+	// alg1, fairshare and hetero take seconds each; keep them out of -short.
+	if testing.Short() {
+		t.Skip("heavy experiment smoke tests")
+	}
+	for _, exp := range []string{"alg1", "fairshare", "hetero"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			var b strings.Builder
+			if err := run([]string{"-exp", exp}, &b); err != nil {
+				t.Fatal(err)
+			}
+			out := b.String()
+			if !strings.Contains(out, "==") {
+				t.Fatalf("no table emitted:\n%s", out)
+			}
+			// Every NE-run column must be full: the paper's algorithm (and
+			// its hetero generalisation) never misses.
+			if strings.Contains(out, "NE runs") && strings.Contains(out, "19/20") {
+				t.Fatalf("an allocation run missed NE:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestFairShareAgreesWithModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	var b strings.Builder
+	if err := run([]string{"-exp", "fairshare"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	// All Jain index cells start with 0.99 or 1.0.
+	for _, line := range strings.Split(b.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 5 && fields[0] != "stations" && !strings.HasPrefix(fields[0], "-") {
+			jain := fields[4]
+			if !strings.HasPrefix(jain, "0.99") && !strings.HasPrefix(jain, "1.0") {
+				t.Fatalf("fair share violated: %q", line)
+			}
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "nope"}, &b); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if err := run([]string{"-badflag"}, &b); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestAllExperimentNamesRegistered(t *testing.T) {
+	for _, name := range experimentOrder {
+		if _, ok := experiments[name]; !ok {
+			t.Errorf("experiment %q in order list but not registered", name)
+		}
+	}
+	if len(experimentOrder) != len(experiments) {
+		t.Errorf("order lists %d experiments, map has %d", len(experimentOrder), len(experiments))
+	}
+}

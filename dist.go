@@ -1,0 +1,57 @@
+package chanalloc
+
+import (
+	"net"
+	"time"
+
+	"github.com/multiradio/chanalloc/internal/dist"
+)
+
+// Distributed-protocol types, re-exported. See the internal/dist package
+// documentation for the wire protocol.
+type (
+	// Coordinator sequences the distributed token ring.
+	Coordinator = dist.Coordinator
+	// CoordinatorOption configures a Coordinator.
+	CoordinatorOption = dist.CoordinatorOption
+	// DistStats summarises a protocol run.
+	DistStats = dist.Stats
+	// Policy chooses a device's row when it holds the token.
+	Policy = dist.Policy
+	// GreedyPolicy reproduces Algorithm 1's placement over messages.
+	GreedyPolicy = dist.GreedyPolicy
+	// BestResponsePolicy plays exact best responses to announced loads.
+	BestResponsePolicy = dist.BestResponsePolicy
+	// AgentResult is a device's view of the final broadcast.
+	AgentResult = dist.AgentResult
+	// DistResult bundles coordinator and agent views of an in-process run.
+	DistResult = dist.LocalResult
+)
+
+// NewCoordinator builds a protocol coordinator for g.
+func NewCoordinator(g *Game, opts ...CoordinatorOption) (*Coordinator, error) {
+	return dist.NewCoordinator(g, opts...)
+}
+
+// WithDistMaxRounds caps token-ring sweeps.
+func WithDistMaxRounds(n int) CoordinatorOption { return dist.WithMaxRounds(n) }
+
+// WithDistTimeout bounds each protocol message wait.
+func WithDistTimeout(d time.Duration) CoordinatorOption { return dist.WithTimeout(d) }
+
+// RunAgent drives one device end of the protocol over conn until the
+// coordinator broadcasts completion.
+func RunAgent(conn net.Conn, policy Policy, timeout time.Duration) (AgentResult, error) {
+	return dist.RunAgent(conn, policy, timeout)
+}
+
+// RunDistributed wires one agent per user to a coordinator over in-process
+// pipes and runs the protocol to completion.
+func RunDistributed(g *Game, policies []Policy, opts ...CoordinatorOption) (*DistResult, error) {
+	return dist.RunLocal(g, policies, opts...)
+}
+
+// UniformPolicies builds one policy per user from a factory.
+func UniformPolicies(n int, factory func(user int) Policy) []Policy {
+	return dist.UniformPolicies(n, factory)
+}

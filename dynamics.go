@@ -1,0 +1,60 @@
+package chanalloc
+
+import (
+	"github.com/multiradio/chanalloc/internal/dynamics"
+)
+
+// Dynamics types, re-exported.
+type (
+	// DynamicsResult reports one convergence run.
+	DynamicsResult = dynamics.Result
+	// DynamicsOption configures the dynamics runners.
+	DynamicsOption = dynamics.Option
+	// Schedule orders users within a dynamics round.
+	Schedule = dynamics.Schedule
+)
+
+// Sweep schedules.
+const (
+	RoundRobin  = dynamics.RoundRobin
+	RandomOrder = dynamics.RandomOrder
+)
+
+// RunBestResponse runs user-level best-response dynamics from start (which
+// is cloned, not modified). A converged run ends at a Nash equilibrium.
+func RunBestResponse(g *Game, start *Alloc, opts ...DynamicsOption) (DynamicsResult, error) {
+	return dynamics.RunBestResponse(g, start, opts...)
+}
+
+// RunRadioGreedy runs radio-level greedy dynamics; each accepted move
+// strictly increases the congestion potential, so the process cannot cycle.
+func RunRadioGreedy(g *Game, start *Alloc, opts ...DynamicsOption) (DynamicsResult, error) {
+	return dynamics.RunRadioGreedy(g, start, opts...)
+}
+
+// RunSimultaneous runs simultaneous best-response dynamics with inertia:
+// with inertia = 1 symmetric configurations oscillate forever (the
+// miscoordination the paper's sequential algorithm avoids); with
+// inertia < 1 the process converges almost surely.
+func RunSimultaneous(g *Game, start *Alloc, inertia float64, opts ...DynamicsOption) (DynamicsResult, error) {
+	return dynamics.RunSimultaneous(g, start, inertia, opts...)
+}
+
+// Potential evaluates the congestion potential Φ(S) = Σ_c Σ_{j<=k_c} R(j)/j.
+func Potential(r RateFunc, a *Alloc) float64 { return dynamics.Potential(r, a) }
+
+// RandomAlloc builds a full-deployment allocation with every radio on a
+// uniformly random channel — the standard cold start for dynamics runs.
+func RandomAlloc(g *Game, seed uint64) *Alloc { return dynamics.RandomAlloc(g, seed) }
+
+// WithDynamicsSchedule selects the sweep order (default RoundRobin).
+func WithDynamicsSchedule(s Schedule) DynamicsOption { return dynamics.WithSchedule(s) }
+
+// WithDynamicsMaxRounds caps the number of sweeps.
+func WithDynamicsMaxRounds(n int) DynamicsOption { return dynamics.WithMaxRounds(n) }
+
+// WithDynamicsEps sets the minimum strict improvement for a move.
+func WithDynamicsEps(eps float64) DynamicsOption { return dynamics.WithEps(eps) }
+
+// WithDynamicsSeed fixes the RNG seed for RandomOrder schedules.
+func WithDynamicsSeed(seed uint64) DynamicsOption { return dynamics.WithSeed(seed) }

@@ -1,0 +1,84 @@
+// Cognitive-radio scenario: secondary users with multiple radios enter a
+// band one at a time and allocate selfishly. The example shows the paper's
+// central claim in motion — even as the population grows, selfish
+// allocation keeps the spectrum load-balanced and (for constant-rate MACs)
+// system optimal.
+//
+// The channel model is the practical 802.11 DCF rate from Bianchi's model,
+// so the total rate of a channel genuinely degrades as radios pile on.
+//
+//	go run ./examples/cognitive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/multiradio/chanalloc"
+)
+
+const (
+	channels      = 8
+	radiosPerUser = 3
+	maxUsers      = 10
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Channel substrate: Bianchi's DCF model at 1 Mbit/s (practical
+	// backoff), so R(k) decreases from 0.84 toward 0.72 as k grows.
+	rate, err := chanalloc.PracticalCSMA(chanalloc.Bianchi1Mbps())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Secondary users entering a band of 8 channels, 3 radios each.")
+	fmt.Println("After each arrival, all devices re-run selfish allocation.")
+	fmt.Println()
+	fmt.Printf("%6s  %12s  %12s  %10s  %8s\n",
+		"users", "max-min load", "total Mbit/s", "per-user", "NE?")
+
+	for n := 1; n <= maxUsers; n++ {
+		g, err := chanalloc.NewGame(n, channels, radiosPerUser, rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Re-allocation after an arrival: run the sequential protocol with
+		// the newcomers included. (A real deployment would run the
+		// distributed token protocol; see examples/distributed.)
+		alloc, err := chanalloc.Algorithm1(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxLoad, _ := alloc.MaxLoad()
+		minLoad, _ := alloc.MinLoad()
+		stable, err := g.IsNashEquilibrium(alloc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perUser := g.Welfare(alloc) / float64(n)
+		fmt.Printf("%6d  %7d-%-4d  %12.3f  %10.3f  %8v\n",
+			n, maxLoad, minLoad, g.Welfare(alloc), perUser, stable)
+	}
+
+	fmt.Println()
+	fmt.Println("Observations:")
+	fmt.Println("  - loads never differ by more than one radio (Proposition 1);")
+	fmt.Println("  - every state is a Nash equilibrium (Theorem 1);")
+	fmt.Println("  - total rate declines gently because practical CSMA/CA decays with k,")
+	fmt.Println("    while per-user rate falls as newcomers share the band.")
+
+	// Show the final occupancy.
+	g, err := chanalloc.NewGame(maxUsers, channels, radiosPerUser, rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc, err := chanalloc.Algorithm1(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Final occupancy with 10 users:")
+	fmt.Print(chanalloc.OccupancyDiagram(alloc))
+}

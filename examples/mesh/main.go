@@ -1,0 +1,85 @@
+// Mesh-backhaul scenario: multi-radio mesh routers in one collision domain
+// compare three ways of assigning their radios to channels:
+//
+//  1. a naive static assignment (everyone on the first k channels),
+//  2. selfish best-response dynamics from a random start, and
+//  3. the paper's Algorithm 1.
+//
+// The example measures total backhaul capacity, per-router fairness (Jain
+// index) and whether each outcome is stable against selfish deviation —
+// reproducing the paper's message that selfish play is not the enemy here:
+// it load-balances the spectrum on its own.
+//
+//	go run ./examples/mesh
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/multiradio/chanalloc"
+	"github.com/multiradio/chanalloc/internal/stats"
+)
+
+const (
+	routers    = 9
+	channels   = 6
+	radios     = 3
+	channelMbs = 54.0
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g, err := chanalloc.NewGame(routers, channels, radios, chanalloc.TDMA(channelMbs))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Mesh backhaul: %d routers, %d radios each, %d channels of %.0f Mbit/s.\n\n",
+		routers, radios, channels, channelMbs)
+	fmt.Printf("%-28s  %12s  %10s  %8s\n", "assignment", "total Mbit/s", "Jain index", "stable?")
+
+	// 1. Naive static: every router uses channels 1..k.
+	naive := g.NewEmptyAlloc()
+	for i := 0; i < routers; i++ {
+		for c := 0; c < radios; c++ {
+			if err := naive.Add(i, c, 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	report(g, "naive static (first k)", naive)
+
+	// 2. Selfish dynamics from a random cold start.
+	start := chanalloc.RandomAlloc(g, 2024)
+	res, err := chanalloc.RunBestResponse(g, start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(g, fmt.Sprintf("selfish dynamics (%d rounds)", res.Rounds), res.Final)
+
+	// 3. Algorithm 1.
+	alg1, err := chanalloc.Algorithm1(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(g, "Algorithm 1", alg1)
+
+	fmt.Println()
+	fmt.Println("Selfish dynamics and Algorithm 1 both land on load-balanced equilibria")
+	fmt.Println("with full spectrum reuse; the naive assignment wastes half the band and")
+	fmt.Println("is not stable (any router gains by moving a radio to an idle channel).")
+}
+
+func report(g *chanalloc.Game, name string, a *chanalloc.Alloc) {
+	stable, err := g.IsNashEquilibrium(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jain, err := stats.JainIndex(g.Utilities(a))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s  %12.1f  %10.4f  %8v\n", name, g.Welfare(a), jain, stable)
+}

@@ -1,0 +1,60 @@
+package chanalloc
+
+import (
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/hetero"
+	"github.com/multiradio/chanalloc/internal/spectrum"
+)
+
+// Heterogeneous-budget extension: per-user radio counts k_i (the paper's
+// model generalised beyond uniform k; see EXPERIMENTS.md E11).
+type (
+	// HeteroGame is a channel allocation game with per-user budgets.
+	HeteroGame = hetero.Game
+)
+
+// NewHeteroGame builds a game where user i owns budgets[i] radios
+// (1 <= k_i <= channels).
+func NewHeteroGame(channels int, budgets []int, rate RateFunc) (*HeteroGame, error) {
+	return hetero.NewGame(channels, budgets, rate)
+}
+
+// HeteroAlgorithm1 runs the sequential greedy allocation with per-user
+// budgets; empirically it lands on exact Nash equilibria across rate
+// families (E11).
+func HeteroAlgorithm1(g *HeteroGame, tie TieBreak, seed uint64) (*Alloc, error) {
+	return hetero.Algorithm1(g, tie, seed)
+}
+
+// LoadBalanced reports whether channel loads differ by at most one (the
+// generalised Proposition 1 property).
+func LoadBalanced(a *Alloc) bool { return hetero.LoadBalanced(a) }
+
+// Spectrum modelling: bands, channels, devices and radio-level assignments.
+type (
+	// Band is a frequency band of equal-width orthogonal channels.
+	Band = spectrum.Band
+	// SpectrumChannel is one channel of a band, with its center frequency.
+	SpectrumChannel = spectrum.Channel
+	// Device is a multi-radio node.
+	Device = spectrum.Device
+	// Deployment binds devices to a band.
+	Deployment = spectrum.Deployment
+	// Assignment maps one radio of one device to a concrete channel.
+	Assignment = spectrum.Assignment
+)
+
+// ISM2400 returns the 2.4 GHz ISM band as its three orthogonal channels.
+func ISM2400() Band { return spectrum.ISM2400() }
+
+// UNII5GHz returns a 5 GHz U-NII band with eight orthogonal channels.
+func UNII5GHz() Band { return spectrum.UNII5GHz() }
+
+// NewDeployment validates devices against a band.
+func NewDeployment(band Band, devs []Device) (*Deployment, error) {
+	return spectrum.NewDeployment(band, devs)
+}
+
+// Placer exposes the per-user greedy placement routine shared by
+// Algorithm 1 and the distributed protocol.
+type Placer = core.Placer

@@ -1,0 +1,111 @@
+package bianchi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccessModeString(t *testing.T) {
+	for _, m := range []AccessMode{Basic, RTSCTS, AccessMode(9)} {
+		if m.String() == "" {
+			t.Errorf("empty string for mode %d", int(m))
+		}
+	}
+}
+
+func TestWithRTSCTS(t *testing.T) {
+	p := Bianchi1Mbps().WithRTSCTS()
+	if p.Mode != RTSCTS || p.RTSBits != 160 || p.CTSBits != 112 {
+		t.Fatalf("WithRTSCTS = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTSCTSValidation(t *testing.T) {
+	p := Bianchi1Mbps()
+	p.Mode = RTSCTS // no control frame sizes
+	if err := p.Validate(); err == nil {
+		t.Error("RTS/CTS without frame sizes should error")
+	}
+	p = Bianchi1Mbps()
+	p.Mode = AccessMode(7)
+	if err := p.Validate(); err == nil {
+		t.Error("unknown mode should error")
+	}
+	p = Bianchi1Mbps()
+	p.RTSBits = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative RTS bits should error")
+	}
+}
+
+func TestRTSCTSFrameTimes(t *testing.T) {
+	basic := Bianchi1Mbps()
+	rts := basic.WithRTSCTS()
+	tsB, tcB := basic.FrameTimes()
+	tsR, tcR := rts.FrameTimes()
+	// RTS/CTS successful exchanges are longer (extra handshake)...
+	if tsR <= tsB {
+		t.Errorf("Ts rts=%v should exceed basic=%v", tsR, tsB)
+	}
+	// ...but collisions are far cheaper (only the RTS is lost).
+	if tcR >= tcB/10 {
+		t.Errorf("Tc rts=%v should be far below basic=%v", tcR, tcB)
+	}
+}
+
+func TestRTSCTSBeatsBasicAtHighN(t *testing.T) {
+	// The classic Bianchi result: RTS/CTS wins under heavy contention
+	// because collisions cost only an RTS frame.
+	basic := Bianchi1Mbps()
+	rts := basic.WithRTSCTS()
+	rBasic, err := Solve(basic, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRTS, err := Solve(rts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRTS.Throughput <= rBasic.Throughput {
+		t.Errorf("at n=50 RTS/CTS (%v) should beat basic (%v)",
+			rRTS.Throughput, rBasic.Throughput)
+	}
+}
+
+func TestRTSCTSLessSensitiveToN(t *testing.T) {
+	rts := Bianchi1Mbps().WithRTSCTS()
+	basic := Bianchi1Mbps()
+	sag := func(p Params) float64 {
+		t2, err2 := Solve(p, 2)
+		t50, err50 := Solve(p, 50)
+		if err2 != nil || err50 != nil {
+			t.Fatalf("solve: %v %v", err2, err50)
+		}
+		return (t2.Throughput - t50.Throughput) / t2.Throughput
+	}
+	if sag(rts) >= sag(basic) {
+		t.Errorf("RTS/CTS sag %v should be below basic sag %v", sag(rts), sag(basic))
+	}
+}
+
+func TestRTSCTSRateAdapterContract(t *testing.T) {
+	f, err := PracticalRate(Bianchi1Mbps().WithRTSCTS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone contract holds and rates stay positive and sane.
+	prev := math.Inf(1)
+	for k := 1; k <= 30; k++ {
+		r := f.Rate(k)
+		if r <= 0 || r > 1 {
+			t.Fatalf("Rate(%d) = %v out of (0, 1]", k, r)
+		}
+		if r > prev+1e-12 {
+			t.Fatalf("rate increased at k=%d", k)
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+// DefaultEps is the absolute tolerance used by the floating-point NE oracle
+// when comparing a user's utility against its best-response value. Utilities
+// are O(R0 · k); 1e-9 is far below any meaningful rate difference yet far
+// above accumulated float error for the game sizes this library targets.
+const DefaultEps = 1e-9
+
+// Deviation reports a profitable unilateral deviation found by the
+// best-response oracle.
+type Deviation struct {
+	User    int
+	Current []int   // the user's current strategy row
+	Better  []int   // a strictly better row
+	Gain    float64 // utility improvement
+}
+
+// String renders the deviation with 1-based user labels.
+func (d *Deviation) String() string {
+	if d == nil {
+		return "<no deviation>"
+	}
+	return fmt.Sprintf("user u%d can switch %v -> %v for +%.6g", d.User+1, d.Current, d.Better, d.Gain)
+}
+
+// BestResponse computes a utility-maximising reallocation of user i's radios
+// (up to the budget k), holding all other users fixed. It returns an optimal
+// strategy row and its utility.
+//
+// The optimisation is an exact dynamic program over channels: channels are
+// independent once the user's own contribution is fixed, so
+// max Σ_c v_c(x_c) subject to Σ_c x_c <= k decomposes channel by channel,
+// where v_c(x) = x/(m_c+x) · R(m_c+x) and m_c is the other users' load.
+// Idle radios are permitted (x summing below k); with strictly positive
+// rates the optimum always uses the full budget (paper Lemma 1), which the
+// tests assert.
+func (g *Game) BestResponse(a *Alloc, i int) ([]int, float64, error) {
+	if err := g.CheckAlloc(a); err != nil {
+		return nil, 0, err
+	}
+	if i < 0 || i >= g.users {
+		return nil, 0, fmt.Errorf("core: user %d out of range [0, %d)", i, g.users)
+	}
+	ext := make([]int, g.channels)
+	for c := 0; c < g.channels; c++ {
+		ext[c] = a.Load(c) - a.Radios(i, c)
+	}
+	return BestResponseToLoads(g.rate, ext, g.radios)
+}
+
+// BestResponseToLoads computes the utility-maximising placement of up to k
+// radios against fixed external channel loads ext (the other users' radios).
+// This is the DP behind Game.BestResponse, exposed for callers that only
+// know aggregate loads — notably the distributed protocol, where a device
+// learns per-channel totals from its peers rather than a full matrix.
+func BestResponseToLoads(rate ratefn.Func, ext []int, k int) ([]int, float64, error) {
+	if rate == nil {
+		return nil, 0, fmt.Errorf("core: nil rate function")
+	}
+	if len(ext) == 0 {
+		return nil, 0, fmt.Errorf("core: no channels")
+	}
+	if k < 0 {
+		return nil, 0, fmt.Errorf("core: negative budget %d", k)
+	}
+	for c, l := range ext {
+		if l < 0 {
+			return nil, 0, fmt.Errorf("core: negative external load %d on channel %d", l, c)
+		}
+	}
+	C := len(ext)
+
+	// v[c][x] = the user's rate on channel c when placing x radios there.
+	v := make([][]float64, C)
+	for c := 0; c < C; c++ {
+		v[c] = make([]float64, k+1)
+		for x := 1; x <= k; x++ {
+			v[c][x] = share(x, ext[c]+x, rate)
+		}
+	}
+
+	// f[c][b] = best value over channels c..C-1 with budget b.
+	// choice[c][b] = radios assigned to channel c at that state.
+	f := make([][]float64, C+1)
+	choice := make([][]int, C)
+	for c := range f {
+		f[c] = make([]float64, k+1)
+	}
+	for c := range choice {
+		choice[c] = make([]int, k+1)
+	}
+	for c := C - 1; c >= 0; c-- {
+		for b := 0; b <= k; b++ {
+			best, bestX := math.Inf(-1), 0
+			for x := 0; x <= b; x++ {
+				if val := v[c][x] + f[c+1][b-x]; val > best {
+					best, bestX = val, x
+				}
+			}
+			f[c][b] = best
+			choice[c][b] = bestX
+		}
+	}
+
+	row := make([]int, C)
+	b := k
+	for c := 0; c < C; c++ {
+		row[c] = choice[c][b]
+		b -= row[c]
+	}
+	return row, f[0][k], nil
+}
+
+// FindDeviation searches all users for a profitable unilateral deviation
+// using the exact best-response oracle. It returns nil when a is a (weak)
+// Nash equilibrium within tolerance eps (pass DefaultEps unless you have a
+// reason not to).
+func (g *Game) FindDeviation(a *Alloc, eps float64) (*Deviation, error) {
+	if eps < 0 || math.IsNaN(eps) {
+		return nil, fmt.Errorf("core: negative tolerance %v", eps)
+	}
+	for i := 0; i < g.users; i++ {
+		current := g.Utility(a, i)
+		row, best, err := g.BestResponse(a, i)
+		if err != nil {
+			return nil, err
+		}
+		if best > current+eps {
+			return &Deviation{
+				User:    i,
+				Current: a.Row(i),
+				Better:  row,
+				Gain:    best - current,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// IsNashEquilibrium reports whether a is a Nash equilibrium of g, decided by
+// exhaustive best response with tolerance DefaultEps. This is the library's
+// ground-truth oracle; TheoremNE is the paper's closed-form
+// characterisation.
+func (g *Game) IsNashEquilibrium(a *Alloc) (bool, error) {
+	dev, err := g.FindDeviation(a, DefaultEps)
+	if err != nil {
+		return false, err
+	}
+	return dev == nil, nil
+}
+
+// UtilityRat computes U_i(S) exactly, if the game's rate function supports
+// exact rational evaluation. The second return is false otherwise.
+func (g *Game) UtilityRat(a *Alloc, i int) (*big.Rat, bool) {
+	exact, ok := g.rate.(ratefn.Exact)
+	if !ok {
+		return nil, false
+	}
+	u := new(big.Rat)
+	for c := 0; c < a.Channels(); c++ {
+		ki := a.Radios(i, c)
+		if ki == 0 {
+			continue
+		}
+		kc := a.Load(c)
+		term := new(big.Rat).Mul(big.NewRat(int64(ki), int64(kc)), exact.RateRat(kc))
+		u.Add(u, term)
+	}
+	return u, true
+}
+
+// BestResponseRat is the exact-arithmetic analogue of BestResponse. It
+// returns an optimal row and its utility as a big.Rat, or ok=false if the
+// rate function does not support exact evaluation.
+func (g *Game) BestResponseRat(a *Alloc, i int) (row []int, util *big.Rat, ok bool, err error) {
+	exact, isExact := g.rate.(ratefn.Exact)
+	if !isExact {
+		return nil, nil, false, nil
+	}
+	if err := g.CheckAlloc(a); err != nil {
+		return nil, nil, false, err
+	}
+	if i < 0 || i >= g.users {
+		return nil, nil, false, fmt.Errorf("core: user %d out of range [0, %d)", i, g.users)
+	}
+	k := g.radios
+	C := g.channels
+
+	v := make([][]*big.Rat, C)
+	for c := 0; c < C; c++ {
+		ext := a.Load(c) - a.Radios(i, c)
+		v[c] = make([]*big.Rat, k+1)
+		v[c][0] = new(big.Rat)
+		for x := 1; x <= k; x++ {
+			total := ext + x
+			v[c][x] = new(big.Rat).Mul(big.NewRat(int64(x), int64(total)), exact.RateRat(total))
+		}
+	}
+
+	f := make([][]*big.Rat, C+1)
+	choice := make([][]int, C)
+	f[C] = make([]*big.Rat, k+1)
+	for b := range f[C] {
+		f[C][b] = new(big.Rat)
+	}
+	for c := C - 1; c >= 0; c-- {
+		f[c] = make([]*big.Rat, k+1)
+		choice[c] = make([]int, k+1)
+		for b := 0; b <= k; b++ {
+			var best *big.Rat
+			bestX := 0
+			for x := 0; x <= b; x++ {
+				val := new(big.Rat).Add(v[c][x], f[c+1][b-x])
+				if best == nil || val.Cmp(best) > 0 {
+					best, bestX = val, x
+				}
+			}
+			f[c][b] = best
+			choice[c][b] = bestX
+		}
+	}
+
+	row = make([]int, C)
+	b := k
+	for c := 0; c < C; c++ {
+		row[c] = choice[c][b]
+		b -= row[c]
+	}
+	return row, f[0][k], true, nil
+}
+
+// IsNashEquilibriumRat decides NE membership in exact rational arithmetic.
+// ok=false means the rate function cannot be evaluated exactly; use the
+// floating-point oracle instead.
+func (g *Game) IsNashEquilibriumRat(a *Alloc) (isNE, ok bool, err error) {
+	for i := 0; i < g.users; i++ {
+		current, exact := g.UtilityRat(a, i)
+		if !exact {
+			return false, false, nil
+		}
+		_, best, exact, err := g.BestResponseRat(a, i)
+		if err != nil {
+			return false, false, err
+		}
+		if !exact {
+			return false, false, nil
+		}
+		if best.Cmp(current) > 0 {
+			return false, true, nil
+		}
+	}
+	return true, true, nil
+}

@@ -1,0 +1,260 @@
+package core
+
+import "fmt"
+
+// Violation is a concrete witness that an allocation fails one of the
+// paper's necessary NE conditions. Users and channels are 0-based indices;
+// -1 marks "not applicable".
+type Violation struct {
+	Rule     string // "lemma1", "lemma2", "lemma3", "lemma4", "prop1", "thm1-cond2", "fact1"
+	User     int
+	ChannelB int
+	ChannelC int
+	Detail   string
+}
+
+// String renders the violation with 1-based user/channel labels matching the
+// paper's figures.
+func (v *Violation) String() string {
+	if v == nil {
+		return "<no violation>"
+	}
+	s := v.Rule
+	if v.User >= 0 {
+		s += fmt.Sprintf(" user u%d", v.User+1)
+	}
+	if v.ChannelB >= 0 {
+		s += fmt.Sprintf(" b=c%d", v.ChannelB+1)
+	}
+	if v.ChannelC >= 0 {
+		s += fmt.Sprintf(" c=c%d", v.ChannelC+1)
+	}
+	if v.Detail != "" {
+		s += ": " + v.Detail
+	}
+	return s
+}
+
+// CheckLemma1 tests the paper's Lemma 1: in a NE every user deploys all k
+// radios. It returns a witness for the first under-deploying user, or nil.
+func CheckLemma1(g *Game, a *Alloc) *Violation {
+	for i := 0; i < a.Users(); i++ {
+		if total := a.UserTotal(i); total < g.Radios() {
+			return &Violation{
+				Rule: "lemma1", User: i, ChannelB: -1, ChannelC: -1,
+				Detail: fmt.Sprintf("deploys %d of %d radios", total, g.Radios()),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLemma2 tests Lemma 2: no NE can contain a user i and channels b, c
+// with k_{i,b} > 0, k_{i,c} = 0 and δ_{b,c} = k_b - k_c > 1. Returns a
+// witness or nil.
+func CheckLemma2(g *Game, a *Alloc) *Violation {
+	for i := 0; i < a.Users(); i++ {
+		for b := 0; b < a.Channels(); b++ {
+			if a.Radios(i, b) == 0 {
+				continue
+			}
+			for c := 0; c < a.Channels(); c++ {
+				if a.Radios(i, c) != 0 {
+					continue
+				}
+				if delta := a.Load(b) - a.Load(c); delta > 1 {
+					return &Violation{
+						Rule: "lemma2", User: i, ChannelB: b, ChannelC: c,
+						Detail: fmt.Sprintf("δ=%d > 1 with k_{i,b}=%d, k_{i,c}=0", delta, a.Radios(i, b)),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLemma3 tests Lemma 3: no NE can contain a user i and channels b, c
+// with k_{i,b} > 1, k_{i,c} = 0 and δ_{b,c} = 1.
+func CheckLemma3(g *Game, a *Alloc) *Violation {
+	for i := 0; i < a.Users(); i++ {
+		for b := 0; b < a.Channels(); b++ {
+			if a.Radios(i, b) <= 1 {
+				continue
+			}
+			for c := 0; c < a.Channels(); c++ {
+				if a.Radios(i, c) != 0 {
+					continue
+				}
+				if a.Load(b)-a.Load(c) == 1 {
+					return &Violation{
+						Rule: "lemma3", User: i, ChannelB: b, ChannelC: c,
+						Detail: fmt.Sprintf("k_{i,b}=%d > 1, k_{i,c}=0, δ=1", a.Radios(i, b)),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLemma4 tests Lemma 4: no NE can contain a user i and channels b, c
+// with γ_{i,b,c} = k_{i,b} - k_{i,c} >= 2, k_{i,c} = 0 and δ_{b,c} = 0.
+func CheckLemma4(g *Game, a *Alloc) *Violation {
+	for i := 0; i < a.Users(); i++ {
+		for b := 0; b < a.Channels(); b++ {
+			if a.Radios(i, b) < 2 {
+				continue
+			}
+			for c := 0; c < a.Channels(); c++ {
+				if a.Radios(i, c) != 0 || b == c {
+					continue
+				}
+				if a.Load(b) == a.Load(c) {
+					return &Violation{
+						Rule: "lemma4", User: i, ChannelB: b, ChannelC: c,
+						Detail: fmt.Sprintf("γ=%d >= 2, k_{i,c}=0, δ=0", a.Radios(i, b)),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckProposition1 tests Proposition 1: in a NE, δ_{b,c} <= 1 for all
+// channel pairs (load balancing).
+func CheckProposition1(g *Game, a *Alloc) *Violation {
+	maxLoad, b := a.MaxLoad()
+	minLoad, c := a.MinLoad()
+	if maxLoad-minLoad > 1 {
+		return &Violation{
+			Rule: "prop1", User: -1, ChannelB: b, ChannelC: c,
+			Detail: fmt.Sprintf("loads differ by %d > 1", maxLoad-minLoad),
+		}
+	}
+	return nil
+}
+
+// CheckAllLemmas evaluates Lemmas 1-4 and Proposition 1 and returns every
+// violation found (one witness per rule). This powers the paper's Figure-1
+// walk-through, which points out the specific lemma violations in that
+// example allocation.
+func CheckAllLemmas(g *Game, a *Alloc) []*Violation {
+	var out []*Violation
+	for _, check := range []func(*Game, *Alloc) *Violation{
+		CheckLemma1, CheckLemma2, CheckLemma3, CheckLemma4, CheckProposition1,
+	} {
+		if v := check(g, a); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TheoremNE applies Theorem 1 (plus Fact 1 for the no-conflict regime) to
+// decide whether a is a Nash equilibrium, returning a witness when it is
+// not.
+//
+// The theorem assumes a strictly positive rate function on every reachable
+// load; under that assumption it is exact for constant R. For strictly
+// decreasing R the paper's sufficiency argument only covers C_max -> C_min
+// single-radio moves; use IsNashEquilibrium (the best-response oracle) as
+// ground truth and this checker as the paper's characterisation. Experiment
+// E8 quantifies where the two diverge.
+func TheoremNE(g *Game, a *Alloc) (bool, *Violation) {
+	if err := g.CheckAlloc(a); err != nil {
+		return false, &Violation{Rule: "invalid", User: -1, ChannelB: -1, ChannelC: -1, Detail: err.Error()}
+	}
+	// Lemma 1 is a standing necessary condition in both regimes.
+	if v := CheckLemma1(g, a); v != nil {
+		return false, v
+	}
+
+	if !g.HasConflict() {
+		// Fact 1 regime (|N|·k <= |C|): NE iff no channel is shared.
+		for c := 0; c < a.Channels(); c++ {
+			if a.Load(c) > 1 {
+				return false, &Violation{
+					Rule: "fact1", User: -1, ChannelB: c, ChannelC: -1,
+					Detail: fmt.Sprintf("channel shared by %d radios with spare channels available", a.Load(c)),
+				}
+			}
+		}
+		return true, nil
+	}
+
+	// Condition 1: loads balanced within one radio.
+	if v := CheckProposition1(g, a); v != nil {
+		return false, v
+	}
+
+	// Condition 2: per-user spread.
+	_, cmin, _ := a.ChannelSets()
+	maxLoad, _ := a.MaxLoad()
+	minLoad, _ := a.MinLoad()
+	for i := 0; i < a.Users(); i++ {
+		if hasEmptyMinChannel(a, i, cmin) {
+			// Regular user: at most one radio anywhere.
+			for c := 0; c < a.Channels(); c++ {
+				if a.Radios(i, c) > 1 {
+					return false, &Violation{
+						Rule: "thm1-cond2", User: i, ChannelB: c, ChannelC: -1,
+						Detail: fmt.Sprintf("k_{i,c}=%d > 1 while an empty C_min channel exists", a.Radios(i, c)),
+					}
+				}
+			}
+			continue
+		}
+		// Exception user j: no empty C_min channel. At most one radio on any
+		// maximum-load channel, and counts on C_min channels within one of
+		// each other (γ <= 1).
+		for c := 0; c < a.Channels(); c++ {
+			if a.Load(c) == maxLoad && maxLoad != minLoad && a.Radios(i, c) > 1 {
+				return false, &Violation{
+					Rule: "thm1-cond2", User: i, ChannelB: c, ChannelC: -1,
+					Detail: fmt.Sprintf("exception user has k_{i,c}=%d > 1 on a C_max channel", a.Radios(i, c)),
+				}
+			}
+		}
+		if maxLoad == minLoad {
+			// Flat loads: C_max = C_min = C, and covering every channel
+			// within the budget k <= |C| forces exactly one radio each.
+			for c := 0; c < a.Channels(); c++ {
+				if a.Radios(i, c) > 1 {
+					return false, &Violation{
+						Rule: "thm1-cond2", User: i, ChannelB: c, ChannelC: -1,
+						Detail: fmt.Sprintf("k_{i,c}=%d > 1 in a flat allocation", a.Radios(i, c)),
+					}
+				}
+			}
+			continue
+		}
+		for x := 0; x < len(cmin); x++ {
+			for y := x + 1; y < len(cmin); y++ {
+				d := a.Radios(i, cmin[x]) - a.Radios(i, cmin[y])
+				if d < 0 {
+					d = -d
+				}
+				if d > 1 {
+					return false, &Violation{
+						Rule: "thm1-cond2", User: i, ChannelB: cmin[x], ChannelC: cmin[y],
+						Detail: fmt.Sprintf("exception user has γ=%d > 1 between C_min channels", d),
+					}
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// hasEmptyMinChannel reports whether user i has no radio on at least one
+// minimum-load channel (the paper's "∃c ∈ C_min with k_{j,c} = 0").
+func hasEmptyMinChannel(a *Alloc, i int, cmin []int) bool {
+	for _, c := range cmin {
+		if a.Radios(i, c) == 0 {
+			return true
+		}
+	}
+	return false
+}

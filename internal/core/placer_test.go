@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+func TestPlacerWaterFills(t *testing.T) {
+	p := Placer{}
+	row, err := p.Place([]int{3, 1, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Water-filling: radios land on c2 (1->2), c3 (1->2), then c4 (2->3)?
+	// After two placements loads are (3,2,2,2); min = 2; prefer unused -> c4.
+	want := []int{0, 1, 1, 1}
+	for c := range want {
+		if row[c] != want[c] {
+			t.Fatalf("row = %v, want %v", row, want)
+		}
+	}
+}
+
+func TestPlacerPrefersUnusedOnFlat(t *testing.T) {
+	p := Placer{}
+	row, err := p.Place([]int{2, 2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat background: both radios go to distinct channels.
+	want := []int{1, 1, 0}
+	for c := range want {
+		if row[c] != want[c] {
+			t.Fatalf("row = %v, want %v", row, want)
+		}
+	}
+}
+
+func TestPlacerTieLast(t *testing.T) {
+	p := Placer{Tie: TieLast}
+	row, err := p.Place([]int{0, 0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1}
+	for c := range want {
+		if row[c] != want[c] {
+			t.Fatalf("row = %v, want %v", row, want)
+		}
+	}
+}
+
+func TestPlacerZeroRadios(t *testing.T) {
+	p := Placer{}
+	row, err := p.Place([]int{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 0 || row[1] != 0 {
+		t.Fatalf("row = %v, want zeros", row)
+	}
+}
+
+func TestPlacerDoesNotMutateInput(t *testing.T) {
+	loads := []int{1, 0}
+	if _, err := (Placer{}).Place(loads, 1); err != nil {
+		t.Fatal(err)
+	}
+	if loads[0] != 1 || loads[1] != 0 {
+		t.Fatalf("input mutated: %v", loads)
+	}
+}
+
+func TestPlacerErrors(t *testing.T) {
+	p := Placer{}
+	if _, err := p.Place(nil, 1); err == nil {
+		t.Error("no channels should error")
+	}
+	if _, err := p.Place([]int{0, 0}, 3); err == nil {
+		t.Error("k > channels should error")
+	}
+	if _, err := p.Place([]int{0}, -1); err == nil {
+		t.Error("negative k should error")
+	}
+	if _, err := (Placer{Tie: TieRandom}).Place([]int{0, 0}, 1); err == nil {
+		t.Error("TieRandom without RNG should error")
+	}
+	if _, err := (Placer{Tie: TieBreak(77)}).Place([]int{0, 0}, 1); err == nil {
+		t.Error("unknown tie should error")
+	}
+}
+
+func TestPlacerLiteralCanStack(t *testing.T) {
+	// Background (0,1,1), k=2: the first radio fills c1, making the loads
+	// flat at 1. The literal rule then happily returns to c1 (it is in the
+	// min set), stacking two radios; the corrected rule prefers an unused
+	// minimum channel and spreads.
+	literal, err := (Placer{Literal: true}).Place([]int{0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if literal[0] != 2 {
+		t.Fatalf("literal row = %v, want [2 0 0]", literal)
+	}
+	corrected, err := (Placer{}).Place([]int{0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 0}
+	for c := range want {
+		if corrected[c] != want[c] {
+			t.Fatalf("corrected row = %v, want %v", corrected, want)
+		}
+	}
+}
+
+func TestPlacerStacksOnlyWhenUnavoidable(t *testing.T) {
+	// When the unique minimum is a channel the row already uses and every
+	// other channel is far heavier, even the corrected rule stacks — the
+	// min-load rule is myopic by design (it mirrors the paper's algorithm,
+	// not a best response). Both rules agree here.
+	for _, p := range []Placer{{}, {Literal: true}} {
+		row, err := p.Place([]int{0, 5, 5}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0] != 2 {
+			t.Fatalf("row = %v, want [2 0 0] (literal=%v)", row, p.Literal)
+		}
+	}
+}
+
+func TestPlacerRandomUsesRNG(t *testing.T) {
+	rng := des.NewRNG(3)
+	p := Placer{Tie: TieRandom, RNG: rng}
+	seen := make(map[int]bool)
+	for trial := 0; trial < 64; trial++ {
+		row, err := p.Place([]int{0, 0, 0, 0}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, v := range row {
+			if v == 1 {
+				seen[c] = true
+			}
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("random tie-breaking only ever picked %v", seen)
+	}
+}
+
+func TestBestResponseToLoadsMatchesGameBestResponse(t *testing.T) {
+	g, a := figure1Game(t)
+	for i := 0; i < g.Users(); i++ {
+		ext := make([]int, g.Channels())
+		for c := range ext {
+			ext[c] = a.Load(c) - a.Radios(i, c)
+		}
+		row1, u1, err := g.BestResponse(a, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row2, u2, err := BestResponseToLoads(g.Rate(), ext, g.Radios())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u1 != u2 {
+			t.Fatalf("u%d: %v != %v", i+1, u1, u2)
+		}
+		for c := range row1 {
+			if row1[c] != row2[c] {
+				t.Fatalf("u%d rows differ: %v vs %v", i+1, row1, row2)
+			}
+		}
+	}
+}
+
+func TestBestResponseToLoadsErrors(t *testing.T) {
+	r := ratefn.NewTDMA(1)
+	if _, _, err := BestResponseToLoads(nil, []int{0}, 1); err == nil {
+		t.Error("nil rate should error")
+	}
+	if _, _, err := BestResponseToLoads(r, nil, 1); err == nil {
+		t.Error("no channels should error")
+	}
+	if _, _, err := BestResponseToLoads(r, []int{0}, -1); err == nil {
+		t.Error("negative k should error")
+	}
+	if _, _, err := BestResponseToLoads(r, []int{-1}, 1); err == nil {
+		t.Error("negative load should error")
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/multiradio/chanalloc/internal/combin"
+)
+
+// OptimalWelfareAllPlaced computes the maximum achievable total rate
+// Σ_{c : l_c > 0} R(l_c) over load vectors that place all |N|·k radios
+// (Lemma 1 forces full deployment in equilibrium, so this is the natural
+// welfare benchmark for NE comparisons). It returns the optimum and one
+// optimising load vector.
+//
+// The optimisation is a dynamic program over channels and remaining radios:
+// O(|C| · T²) for T = |N|·k total radios.
+func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
+	total := g.Users() * g.Radios()
+	C := g.Channels()
+
+	// f[c][t] = best welfare over channels c..C-1 placing exactly t radios.
+	negInf := math.Inf(-1)
+	f := make([][]float64, C+1)
+	choice := make([][]int, C)
+	for c := range f {
+		f[c] = make([]float64, total+1)
+	}
+	for t := 1; t <= total; t++ {
+		f[C][t] = negInf // leftover radios are not allowed
+	}
+	for c := C - 1; c >= 0; c-- {
+		choice[c] = make([]int, total+1)
+		for t := 0; t <= total; t++ {
+			best, bestL := negInf, 0
+			for l := 0; l <= t; l++ {
+				tail := f[c+1][t-l]
+				if tail == negInf {
+					continue
+				}
+				val := g.Rate().Rate(l) + tail
+				if val > best {
+					best, bestL = val, l
+				}
+			}
+			f[c][t] = best
+			choice[c][t] = bestL
+		}
+	}
+
+	loads := make([]int, C)
+	t := total
+	for c := 0; c < C; c++ {
+		loads[c] = choice[c][t]
+		t -= loads[c]
+	}
+	return f[0][total], loads
+}
+
+// OptimalWelfareIdleAllowed computes the maximum total rate when radios may
+// be left idle. Because R is non-increasing with R(1) maximal, the optimum
+// simply lights up min(|C|, |N|·k) channels with one radio each.
+func OptimalWelfareIdleAllowed(g *Game) (float64, []int) {
+	lit := g.Channels()
+	if t := g.Users() * g.Radios(); t < lit {
+		lit = t
+	}
+	loads := make([]int, g.Channels())
+	for c := 0; c < lit; c++ {
+		loads[c] = 1
+	}
+	return float64(lit) * g.Rate().Rate(1), loads
+}
+
+// PriceOfAnarchy returns welfare(a) / optimalWelfare for the all-placed
+// benchmark. 1 means the allocation is system-optimal. Returns an error if
+// the optimum is non-positive (degenerate rate function).
+func PriceOfAnarchy(g *Game, a *Alloc) (float64, error) {
+	opt, _ := OptimalWelfareAllPlaced(g)
+	if opt <= 0 {
+		return 0, fmt.Errorf("core: degenerate optimum %v; rate function is zero everywhere", opt)
+	}
+	return g.Welfare(a) / opt, nil
+}
+
+// enumerateRows enumerates every legal strategy row for one user: all
+// vectors over |C| channels with total radios between 0 and k. The callback
+// receives a reused buffer.
+func enumerateRows(g *Game, fn func([]int) bool) error {
+	for total := 0; total <= g.Radios(); total++ {
+		stop := false
+		err := combin.Compositions(total, g.Channels(), func(row []int) bool {
+			if !fn(row) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ForEachAlloc enumerates every legal strategy matrix of the game (all
+// users, all budgets up to k) and calls fn with a reused Alloc. Returning
+// false stops the enumeration. This is exponential — it exists for the
+// exhaustive oracles on tiny instances (experiment E2) and refuses to run
+// when the strategy space exceeds maxProfiles.
+func ForEachAlloc(g *Game, maxProfiles int64, fn func(*Alloc) bool) error {
+	rows := make([][]int, 0, 64)
+	if err := enumerateRows(g, func(row []int) bool {
+		rows = append(rows, append([]int(nil), row...))
+		return true
+	}); err != nil {
+		return err
+	}
+	perUser := int64(len(rows))
+	totalProfiles := int64(1)
+	for i := 0; i < g.Users(); i++ {
+		if totalProfiles > maxProfiles/perUser+1 {
+			return fmt.Errorf("core: strategy space too large (> %d profiles)", maxProfiles)
+		}
+		totalProfiles *= perUser
+	}
+	if totalProfiles > maxProfiles {
+		return fmt.Errorf("core: strategy space has %d profiles, cap is %d", totalProfiles, maxProfiles)
+	}
+
+	a := g.NewEmptyAlloc()
+	sizes := make([]int, g.Users())
+	for i := range sizes {
+		sizes[i] = len(rows)
+	}
+	return combin.Product(sizes, func(idx []int) bool {
+		for i, ri := range idx {
+			if err := a.SetRow(i, rows[ri]); err != nil {
+				// rows are pre-validated; this cannot fail.
+				return false
+			}
+		}
+		return fn(a)
+	})
+}
+
+// EnumerateNE collects every Nash equilibrium of a tiny game by exhaustive
+// best-response checking. Intended for cross-validation tests; guarded by
+// maxProfiles like ForEachAlloc.
+func EnumerateNE(g *Game, maxProfiles int64) ([]*Alloc, error) {
+	var out []*Alloc
+	var innerErr error
+	err := ForEachAlloc(g, maxProfiles, func(a *Alloc) bool {
+		ok, err := g.IsNashEquilibrium(a)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if ok {
+			out = append(out, a.Clone())
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	return out, nil
+}
+
+// FindParetoImprovement exhaustively searches for an allocation that makes
+// every user at least as well off as in a and at least one user strictly
+// better (within tolerance eps on strict improvement). It returns nil if a
+// is Pareto-optimal over the full strategy space. Exponential; guarded by
+// maxProfiles.
+func FindParetoImprovement(g *Game, a *Alloc, eps float64, maxProfiles int64) (*Alloc, error) {
+	if err := g.CheckAlloc(a); err != nil {
+		return nil, err
+	}
+	base := g.Utilities(a)
+	var found *Alloc
+	err := ForEachAlloc(g, maxProfiles, func(b *Alloc) bool {
+		strict := false
+		for i := range base {
+			u := g.Utility(b, i)
+			if u < base[i]-eps {
+				return true // someone is hurt; keep searching
+			}
+			if u > base[i]+eps {
+				strict = true
+			}
+		}
+		if strict {
+			found = b.Clone()
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return found, nil
+}

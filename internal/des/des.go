@@ -1,0 +1,157 @@
+// Package des is a small deterministic discrete-event simulation engine.
+// It drives the MAC-layer simulators (package macsim) that validate the
+// fair-share and rate-function assumptions of the channel allocation game.
+//
+// The engine is single-threaded and deterministic: events at equal
+// timestamps fire in scheduling order (FIFO tie-breaking via sequence
+// numbers), and all randomness flows from the SplitMix64 generator seeded by
+// the caller.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrStopped is returned by Run variants when the simulation was stopped
+// explicitly before reaching its horizon.
+var ErrStopped = errors.New("des: simulation stopped")
+
+// Event is a scheduled callback. The callback receives the simulator so it
+// can schedule follow-up events.
+type Event struct {
+	Time float64
+	Fn   func(*Simulator)
+
+	seq   uint64
+	index int
+}
+
+// eventQueue implements heap.Interface ordered by (Time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator is a discrete-event simulator. Create one with New.
+type Simulator struct {
+	now     float64
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	rng     *RNG
+	events  uint64 // processed events
+}
+
+// New creates a simulator whose randomness is seeded with seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// RNG returns the simulator's deterministic random source.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// Processed reports how many events have fired so far.
+func (s *Simulator) Processed() uint64 { return s.events }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule enqueues fn to run at absolute time t. Scheduling in the past
+// (t < Now) is an error; scheduling exactly at Now is allowed and runs after
+// currently queued events at the same timestamp.
+func (s *Simulator) Schedule(t float64, fn func(*Simulator)) (*Event, error) {
+	if fn == nil {
+		return nil, errors.New("des: nil event callback")
+	}
+	if math.IsNaN(t) || t < s.now {
+		return nil, fmt.Errorf("des: schedule at %v before now %v", t, s.now)
+	}
+	ev := &Event{Time: t, Fn: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev, nil
+}
+
+// After enqueues fn to run delay time units from now.
+func (s *Simulator) After(delay float64, fn func(*Simulator)) (*Event, error) {
+	if delay < 0 || math.IsNaN(delay) {
+		return nil, fmt.Errorf("des: negative delay %v", delay)
+	}
+	return s.Schedule(s.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op returning false.
+func (s *Simulator) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(s.queue) || s.queue[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&s.queue, ev.index)
+	return true
+}
+
+// Stop halts the run loop after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run processes events until the queue empties, the horizon is passed, or
+// Stop is called. Events with Time > horizon remain queued; the clock is
+// left at the later of its current value and horizon. It returns ErrStopped
+// if halted by Stop.
+func (s *Simulator) Run(horizon float64) error {
+	if math.IsNaN(horizon) || horizon < s.now {
+		return fmt.Errorf("des: horizon %v before now %v", horizon, s.now)
+	}
+	s.stopped = false
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.Time > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.Time
+		s.events++
+		next.Fn(s)
+		if s.stopped {
+			return ErrStopped
+		}
+	}
+	if !math.IsInf(horizon, 1) && s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunAll processes events until the queue drains or Stop is called.
+func (s *Simulator) RunAll() error {
+	return s.Run(math.Inf(1))
+}

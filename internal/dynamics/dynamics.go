@@ -1,0 +1,258 @@
+// Package dynamics implements decentralised convergence processes for the
+// channel allocation game: users (or individual radios) repeatedly improve
+// their own allocation until no one can.
+//
+// The paper proves what the stable points look like (Theorem 1) and gives a
+// centralised algorithm to land on one; this package studies how selfish
+// play *reaches* equilibria — the paper's "ongoing work" on distributed
+// implementations (§3, §4). Two processes are provided:
+//
+//   - best-response dynamics: in each step one user replaces its whole
+//     strategy row with an exact best response (package core's DP);
+//   - radio-greedy dynamics: in each step one radio moves to the channel
+//     that maximises its own rate. Single-radio moves strictly increase the
+//     exact potential Φ(S) = Σ_c Σ_{j=1}^{k_c} R(j)/j, so this process can
+//     never cycle.
+package dynamics
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+// Schedule determines the order in which users act each round.
+type Schedule int
+
+// Schedules. RoundRobin sweeps users 0..N-1 every round; RandomOrder
+// shuffles the sweep each round.
+const (
+	RoundRobin Schedule = iota + 1
+	RandomOrder
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case RandomOrder:
+		return "random-order"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Result reports one dynamics run.
+type Result struct {
+	// Converged is true when a full round passed with no improving move.
+	Converged bool
+	// Rounds is the number of full sweeps executed (including the final
+	// quiet one).
+	Rounds int
+	// Moves counts strategy changes across the run.
+	Moves int
+	// Final is the terminal allocation (aliases the evolved copy, not the
+	// caller's input).
+	Final *core.Alloc
+	// PotentialTrace records Φ after every round, starting with the initial
+	// value (so len == Rounds+1).
+	PotentialTrace []float64
+}
+
+// Options configures a dynamics run.
+type config struct {
+	schedule  Schedule
+	maxRounds int
+	eps       float64
+	seed      uint64
+}
+
+// Option configures RunBestResponse and RunRadioGreedy.
+type Option func(*config)
+
+// WithSchedule selects the sweep order (default RoundRobin).
+func WithSchedule(s Schedule) Option {
+	return func(c *config) { c.schedule = s }
+}
+
+// WithMaxRounds caps the number of sweeps (default 1000).
+func WithMaxRounds(n int) Option {
+	return func(c *config) { c.maxRounds = n }
+}
+
+// WithEps sets the minimum strict improvement for a move (default
+// core.DefaultEps). Larger values model switching costs.
+func WithEps(eps float64) Option {
+	return func(c *config) { c.eps = eps }
+}
+
+// WithSeed fixes the RNG seed for RandomOrder (default 0).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+func buildConfig(opts []Option) (config, error) {
+	cfg := config{schedule: RoundRobin, maxRounds: 1000, eps: core.DefaultEps}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.schedule != RoundRobin && cfg.schedule != RandomOrder {
+		return cfg, fmt.Errorf("dynamics: unknown schedule %d", int(cfg.schedule))
+	}
+	if cfg.maxRounds < 1 {
+		return cfg, fmt.Errorf("dynamics: maxRounds = %d, want >= 1", cfg.maxRounds)
+	}
+	if cfg.eps < 0 || math.IsNaN(cfg.eps) {
+		return cfg, fmt.Errorf("dynamics: negative eps %v", cfg.eps)
+	}
+	return cfg, nil
+}
+
+// Potential evaluates the exact potential Φ(S) = Σ_c Σ_{j=1}^{k_c} R(j)/j.
+// For a single-radio move by a user with exactly one radio on the source
+// channel and none on the target, the change in the mover's utility equals
+// the change in Φ (Rosenthal's congestion-game potential specialised to
+// this game). Radio-greedy dynamics therefore cannot cycle through such
+// states; the dynamics tests verify Φ is monotone along every run.
+func Potential(r ratefn.Func, a *core.Alloc) float64 {
+	var phi float64
+	for c := 0; c < a.Channels(); c++ {
+		for j := 1; j <= a.Load(c); j++ {
+			phi += r.Rate(j) / float64(j)
+		}
+	}
+	return phi
+}
+
+// RunBestResponse runs user-level best-response dynamics from the given
+// starting allocation. The start is cloned; the caller's allocation is not
+// modified. Convergence (a full quiet round) yields a Nash equilibrium by
+// construction.
+func RunBestResponse(g *core.Game, start *core.Alloc, opts ...Option) (Result, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := g.CheckAlloc(start); err != nil {
+		return Result{}, err
+	}
+	a := start.Clone()
+	rng := des.NewRNG(cfg.seed)
+	res := Result{Final: a, PotentialTrace: []float64{Potential(g.Rate(), a)}}
+
+	order := make([]int, g.Users())
+	for i := range order {
+		order[i] = i
+	}
+	for round := 0; round < cfg.maxRounds; round++ {
+		if cfg.schedule == RandomOrder {
+			order = rng.Perm(g.Users())
+		}
+		improved := false
+		for _, i := range order {
+			current := g.Utility(a, i)
+			row, best, err := g.BestResponse(a, i)
+			if err != nil {
+				return Result{}, fmt.Errorf("dynamics: best response for user %d: %w", i, err)
+			}
+			if best > current+cfg.eps {
+				if err := a.SetRow(i, row); err != nil {
+					return Result{}, fmt.Errorf("dynamics: applying row for user %d: %w", i, err)
+				}
+				res.Moves++
+				improved = true
+			}
+		}
+		res.Rounds++
+		res.PotentialTrace = append(res.PotentialTrace, Potential(g.Rate(), a))
+		if !improved {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// RunRadioGreedy runs radio-level greedy dynamics: each user in turn
+// considers every one of its radios and moves it to the channel maximising
+// that radio's rate share, if the user's utility strictly improves by more
+// than eps. Every accepted move strictly increases the potential Φ, so the
+// process always terminates at a state where no single-radio move helps.
+func RunRadioGreedy(g *core.Game, start *core.Alloc, opts ...Option) (Result, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := g.CheckAlloc(start); err != nil {
+		return Result{}, err
+	}
+	a := start.Clone()
+	rng := des.NewRNG(cfg.seed)
+	res := Result{Final: a, PotentialTrace: []float64{Potential(g.Rate(), a)}}
+
+	order := make([]int, g.Users())
+	for i := range order {
+		order[i] = i
+	}
+	for round := 0; round < cfg.maxRounds; round++ {
+		if cfg.schedule == RandomOrder {
+			order = rng.Perm(g.Users())
+		}
+		improved := false
+		for _, i := range order {
+			for from := 0; from < g.Channels(); from++ {
+				if a.Radios(i, from) == 0 {
+					continue
+				}
+				bestTo, bestDelta := -1, cfg.eps
+				for to := 0; to < g.Channels(); to++ {
+					if to == from {
+						continue
+					}
+					delta, err := g.BenefitOfMove(a, i, from, to)
+					if err != nil {
+						return Result{}, fmt.Errorf("dynamics: benefit of move: %w", err)
+					}
+					if delta > bestDelta {
+						bestTo, bestDelta = to, delta
+					}
+				}
+				if bestTo >= 0 {
+					if err := a.Move(i, from, bestTo); err != nil {
+						return Result{}, fmt.Errorf("dynamics: move: %w", err)
+					}
+					res.Moves++
+					improved = true
+				}
+			}
+		}
+		res.Rounds++
+		res.PotentialTrace = append(res.PotentialTrace, Potential(g.Rate(), a))
+		if !improved {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// RandomAlloc builds a full-deployment allocation with each radio on an
+// independently uniform channel — the canonical "cold start" for dynamics
+// experiments.
+func RandomAlloc(g *core.Game, seed uint64) *core.Alloc {
+	rng := des.NewRNG(seed)
+	a := g.NewEmptyAlloc()
+	for i := 0; i < g.Users(); i++ {
+		for j := 0; j < g.Radios(); j++ {
+			// Adding one radio to a valid allocation cannot fail.
+			if err := a.Add(i, rng.Intn(g.Channels()), 1); err != nil {
+				panic("dynamics: random placement failed: " + err.Error())
+			}
+		}
+	}
+	return a
+}

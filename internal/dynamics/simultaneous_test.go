@@ -1,0 +1,127 @@
+package dynamics
+
+import (
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+func TestSimultaneousWithInertiaConverges(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g := mustGame(t, 6, 5, 3, ratefn.NewTDMA(1))
+		res, err := RunSimultaneous(g, RandomAlloc(g, seed), 0.5, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: inertia 0.5 did not converge in %d rounds", seed, res.Rounds)
+		}
+		ne, err := g.IsNashEquilibrium(res.Final)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ne {
+			t.Fatalf("seed %d: converged state is not NE", seed)
+		}
+	}
+}
+
+func TestSimultaneousFullInertiaCanOscillate(t *testing.T) {
+	// The miscoordination pathology: two identical users on two channels
+	// chasing each other forever. With inertia = 1 and a symmetric start
+	// the process must NOT converge (both users jump together each round).
+	g := mustGame(t, 2, 2, 1, ratefn.NewTDMA(1))
+	start, err := core.AllocFromMatrix([][]int{
+		{1, 0},
+		{1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSimultaneous(g, start, 1, WithMaxRounds(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatalf("symmetric full-inertia run should oscillate, converged in %d rounds:\n%v",
+			res.Rounds, res.Final)
+	}
+	if res.Rounds != 50 {
+		t.Fatalf("expected to exhaust 50 rounds, ran %d", res.Rounds)
+	}
+	// The same start with inertia breaks symmetry and settles.
+	res2, err := RunSimultaneous(g, start, 0.5, WithSeed(3), WithMaxRounds(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Converged {
+		t.Fatal("inertia 0.5 should converge from the symmetric start")
+	}
+}
+
+func TestSimultaneousFromNEIsQuiet(t *testing.T) {
+	g := mustGame(t, 4, 4, 2, ratefn.NewTDMA(1))
+	ne, err := core.Algorithm1(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSimultaneous(g, ne, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Moves != 0 || res.Rounds != 1 {
+		t.Fatalf("NE start should be immediately quiet: %+v", res)
+	}
+}
+
+func TestSimultaneousValidation(t *testing.T) {
+	g := mustGame(t, 2, 2, 1, ratefn.NewTDMA(1))
+	start := RandomAlloc(g, 0)
+	if _, err := RunSimultaneous(g, start, 0); err == nil {
+		t.Error("inertia 0 should error")
+	}
+	if _, err := RunSimultaneous(g, start, 1.5); err == nil {
+		t.Error("inertia > 1 should error")
+	}
+	if _, err := RunSimultaneous(g, start, 0.5, WithMaxRounds(0)); err == nil {
+		t.Error("zero rounds should error")
+	}
+	wrong, err := core.NewAlloc(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSimultaneous(g, wrong, 0.5); err == nil {
+		t.Error("mismatched alloc should error")
+	}
+}
+
+func TestSimultaneousDoesNotMutateStart(t *testing.T) {
+	g := mustGame(t, 3, 3, 2, ratefn.NewTDMA(1))
+	start := RandomAlloc(g, 4)
+	snapshot := start.Clone()
+	if _, err := RunSimultaneous(g, start, 0.6, WithSeed(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !start.Equal(snapshot) {
+		t.Fatal("RunSimultaneous mutated the caller's allocation")
+	}
+}
+
+func TestSimultaneousDecreasingRate(t *testing.T) {
+	g := mustGame(t, 5, 4, 3, ratefn.Harmonic{R0: 1, Alpha: 0.5})
+	res, err := RunSimultaneous(g, RandomAlloc(g, 11), 0.5, WithSeed(2), WithMaxRounds(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge under decreasing rate")
+	}
+	ne, err := g.IsNashEquilibrium(res.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ne {
+		t.Fatal("terminal state not NE")
+	}
+}

@@ -1,0 +1,60 @@
+package game
+
+import (
+	"fmt"
+
+	"github.com/multiradio/chanalloc/internal/combin"
+	"github.com/multiradio/chanalloc/internal/core"
+)
+
+// ChannelGame lifts a core channel-allocation game into a generic
+// NormalForm game whose strategies are all legal rows (every radio vector
+// with total between 0 and k). It also returns the strategy table so
+// callers can translate strategy indices back into rows.
+//
+// This adapter exists purely for cross-validation: the generic brute-force
+// NE enumeration over this NormalForm must agree with core's specialised
+// oracle (experiment E2).
+func ChannelGame(g *core.Game) (*NormalForm, [][]int, error) {
+	if g == nil {
+		return nil, nil, fmt.Errorf("game: nil core game")
+	}
+	var rows [][]int
+	for total := 0; total <= g.Radios(); total++ {
+		err := combin.Compositions(total, g.Channels(), func(row []int) bool {
+			rows = append(rows, append([]int(nil), row...))
+			return true
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("game: enumerating rows: %w", err)
+		}
+	}
+
+	sizes := make([]int, g.Users())
+	for i := range sizes {
+		sizes[i] = len(rows)
+	}
+	// The payoff closure reuses one Alloc and one utilities buffer; package
+	// game copies payoff results before holding them across evaluations, so
+	// buffer reuse is safe for its sequential enumeration.
+	work := g.NewEmptyAlloc()
+	utilities := make([]float64, g.Users())
+	payoff := func(profile []int) []float64 {
+		for i, s := range profile {
+			if err := work.SetRow(i, rows[s]); err != nil {
+				// Rows are pre-validated; reaching here is a bug.
+				panic("game: invalid pre-validated row: " + err.Error())
+			}
+		}
+		for i := range utilities {
+			utilities[i] = g.Utility(work, i)
+		}
+		return utilities
+	}
+
+	nf, err := New(sizes, payoff)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nf, rows, nil
+}

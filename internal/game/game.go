@@ -1,0 +1,279 @@
+// Package game is a small generic toolkit for finite normal-form games:
+// exhaustive pure-Nash enumeration, Pareto fronts, social optima and the
+// price of anarchy over enumerable strategy spaces.
+//
+// Its role in this repository is cross-validation: the specialised
+// channel-allocation analysis in package core is checked against this
+// brute-force machinery on tiny instances (experiment E2), so a bug in one
+// implementation cannot silently agree with the same bug in the other.
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/multiradio/chanalloc/internal/combin"
+)
+
+// NormalForm is a finite normal-form game: each player i picks a strategy
+// index in [0, NumStrategies(i)), and Payoff maps a full profile to one
+// utility per player.
+type NormalForm struct {
+	numStrategies []int
+	payoff        func(profile []int) []float64
+}
+
+// New validates and builds a NormalForm game. numStrategies gives each
+// player's strategy count; payoff must return one value per player and is
+// treated as a pure function.
+func New(numStrategies []int, payoff func([]int) []float64) (*NormalForm, error) {
+	if len(numStrategies) == 0 {
+		return nil, fmt.Errorf("game: no players")
+	}
+	for i, n := range numStrategies {
+		if n < 1 {
+			return nil, fmt.Errorf("game: player %d has %d strategies, want >= 1", i, n)
+		}
+	}
+	if payoff == nil {
+		return nil, fmt.Errorf("game: nil payoff function")
+	}
+	return &NormalForm{
+		numStrategies: append([]int(nil), numStrategies...),
+		payoff:        payoff,
+	}, nil
+}
+
+// Players returns the number of players.
+func (nf *NormalForm) Players() int { return len(nf.numStrategies) }
+
+// NumStrategies returns player i's strategy count.
+func (nf *NormalForm) NumStrategies(i int) int { return nf.numStrategies[i] }
+
+// Profiles reports the total number of strategy profiles, or an error if it
+// overflows int64.
+func (nf *NormalForm) Profiles() (int64, error) {
+	total := int64(1)
+	for _, n := range nf.numStrategies {
+		if total > math.MaxInt64/int64(n) {
+			return 0, fmt.Errorf("game: profile count overflows int64")
+		}
+		total *= int64(n)
+	}
+	return total, nil
+}
+
+// Payoffs evaluates the payoff function at profile, validating the result
+// length.
+func (nf *NormalForm) Payoffs(profile []int) ([]float64, error) {
+	if len(profile) != nf.Players() {
+		return nil, fmt.Errorf("game: profile has %d entries, want %d", len(profile), nf.Players())
+	}
+	for i, s := range profile {
+		if s < 0 || s >= nf.numStrategies[i] {
+			return nil, fmt.Errorf("game: player %d strategy %d out of range [0, %d)", i, s, nf.numStrategies[i])
+		}
+	}
+	u := nf.payoff(profile)
+	if len(u) != nf.Players() {
+		return nil, fmt.Errorf("game: payoff returned %d utilities for %d players", len(u), nf.Players())
+	}
+	// Copy defensively: payoff closures may reuse their result buffer
+	// (the ChannelGame adapter does), and callers hold Payoffs results
+	// across further payoff evaluations.
+	return append([]float64(nil), u...), nil
+}
+
+// IsPureNE reports whether profile is a pure-strategy Nash equilibrium
+// within tolerance eps: no player can gain more than eps by a unilateral
+// switch.
+func (nf *NormalForm) IsPureNE(profile []int, eps float64) (bool, error) {
+	base, err := nf.Payoffs(profile)
+	if err != nil {
+		return false, err
+	}
+	work := append([]int(nil), profile...)
+	for i := 0; i < nf.Players(); i++ {
+		orig := work[i]
+		for s := 0; s < nf.numStrategies[i]; s++ {
+			if s == orig {
+				continue
+			}
+			work[i] = s
+			u := nf.payoff(work)
+			if len(u) != nf.Players() {
+				return false, fmt.Errorf("game: payoff returned %d utilities for %d players", len(u), nf.Players())
+			}
+			if u[i] > base[i]+eps {
+				work[i] = orig
+				return false, nil
+			}
+		}
+		work[i] = orig
+	}
+	return true, nil
+}
+
+// PureNE enumerates all pure-strategy Nash equilibria. maxProfiles guards
+// against accidentally exploding strategy spaces.
+func (nf *NormalForm) PureNE(eps float64, maxProfiles int64) ([][]int, error) {
+	total, err := nf.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	if total > maxProfiles {
+		return nil, fmt.Errorf("game: %d profiles exceed cap %d", total, maxProfiles)
+	}
+	var out [][]int
+	var innerErr error
+	err = combin.Product(nf.numStrategies, func(profile []int) bool {
+		ok, err := nf.IsPureNE(profile, eps)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if ok {
+			out = append(out, append([]int(nil), profile...))
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	return out, nil
+}
+
+// SocialOptimum returns a profile maximising the utilitarian welfare
+// Σ_i u_i and its welfare value.
+func (nf *NormalForm) SocialOptimum(maxProfiles int64) ([]int, float64, error) {
+	total, err := nf.Profiles()
+	if err != nil {
+		return nil, 0, err
+	}
+	if total > maxProfiles {
+		return nil, 0, fmt.Errorf("game: %d profiles exceed cap %d", total, maxProfiles)
+	}
+	best := math.Inf(-1)
+	var bestProfile []int
+	var innerErr error
+	err = combin.Product(nf.numStrategies, func(profile []int) bool {
+		u := nf.payoff(profile)
+		if len(u) != nf.Players() {
+			innerErr = fmt.Errorf("game: payoff returned %d utilities for %d players", len(u), nf.Players())
+			return false
+		}
+		w := 0.0
+		for _, v := range u {
+			w += v
+		}
+		if w > best {
+			best = w
+			bestProfile = append(bestProfile[:0], profile...)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if innerErr != nil {
+		return nil, 0, innerErr
+	}
+	return bestProfile, best, nil
+}
+
+// PriceOfAnarchy returns (worst NE welfare) / (optimal welfare) within the
+// capped strategy space. It errors when the game has no pure NE or the
+// optimum is non-positive.
+func (nf *NormalForm) PriceOfAnarchy(eps float64, maxProfiles int64) (float64, error) {
+	nes, err := nf.PureNE(eps, maxProfiles)
+	if err != nil {
+		return 0, err
+	}
+	if len(nes) == 0 {
+		return 0, fmt.Errorf("game: no pure Nash equilibrium")
+	}
+	_, opt, err := nf.SocialOptimum(maxProfiles)
+	if err != nil {
+		return 0, err
+	}
+	if opt <= 0 {
+		return 0, fmt.Errorf("game: non-positive optimal welfare %v", opt)
+	}
+	worst := math.Inf(1)
+	for _, ne := range nes {
+		u, err := nf.Payoffs(ne)
+		if err != nil {
+			return 0, err
+		}
+		w := 0.0
+		for _, v := range u {
+			w += v
+		}
+		if w < worst {
+			worst = w
+		}
+	}
+	return worst / opt, nil
+}
+
+// ParetoDominates reports whether profile a weakly improves on b for every
+// player and strictly for at least one (tolerance eps).
+func (nf *NormalForm) ParetoDominates(a, b []int, eps float64) (bool, error) {
+	ua, err := nf.Payoffs(a)
+	if err != nil {
+		return false, err
+	}
+	ub, err := nf.Payoffs(b)
+	if err != nil {
+		return false, err
+	}
+	strict := false
+	for i := range ua {
+		if ua[i] < ub[i]-eps {
+			return false, nil
+		}
+		if ua[i] > ub[i]+eps {
+			strict = true
+		}
+	}
+	return strict, nil
+}
+
+// IsParetoOptimal reports whether no profile Pareto-dominates p within the
+// capped strategy space.
+func (nf *NormalForm) IsParetoOptimal(p []int, eps float64, maxProfiles int64) (bool, error) {
+	total, err := nf.Profiles()
+	if err != nil {
+		return false, err
+	}
+	if total > maxProfiles {
+		return false, fmt.Errorf("game: %d profiles exceed cap %d", total, maxProfiles)
+	}
+	if _, err := nf.Payoffs(p); err != nil {
+		return false, err
+	}
+	optimal := true
+	var innerErr error
+	err = combin.Product(nf.numStrategies, func(q []int) bool {
+		dom, err := nf.ParetoDominates(q, p, eps)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if dom {
+			optimal = false
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	if innerErr != nil {
+		return false, innerErr
+	}
+	return optimal, nil
+}

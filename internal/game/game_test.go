@@ -1,0 +1,272 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+// prisonersDilemma: strategy 0 = cooperate, 1 = defect.
+func prisonersDilemma(t *testing.T) *NormalForm {
+	t.Helper()
+	payoffs := map[[2]int][2]float64{
+		{0, 0}: {3, 3},
+		{0, 1}: {0, 5},
+		{1, 0}: {5, 0},
+		{1, 1}: {1, 1},
+	}
+	nf, err := New([]int{2, 2}, func(p []int) []float64 {
+		u := payoffs[[2]int{p[0], p[1]}]
+		return []float64{u[0], u[1]}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nf
+}
+
+// matchingPennies has no pure NE.
+func matchingPennies(t *testing.T) *NormalForm {
+	t.Helper()
+	nf, err := New([]int{2, 2}, func(p []int) []float64 {
+		if p[0] == p[1] {
+			return []float64{1, -1}
+		}
+		return []float64{-1, 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nf
+}
+
+func TestNewValidation(t *testing.T) {
+	pay := func([]int) []float64 { return nil }
+	if _, err := New(nil, pay); err == nil {
+		t.Error("no players should error")
+	}
+	if _, err := New([]int{2, 0}, pay); err == nil {
+		t.Error("zero strategies should error")
+	}
+	if _, err := New([]int{2}, nil); err == nil {
+		t.Error("nil payoff should error")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	nf := prisonersDilemma(t)
+	if nf.Players() != 2 {
+		t.Fatalf("Players = %d, want 2", nf.Players())
+	}
+	if nf.NumStrategies(0) != 2 || nf.NumStrategies(1) != 2 {
+		t.Fatal("strategy counts wrong")
+	}
+	total, err := nf.Profiles()
+	if err != nil || total != 4 {
+		t.Fatalf("Profiles = %d, %v; want 4, nil", total, err)
+	}
+}
+
+func TestPayoffsValidation(t *testing.T) {
+	nf := prisonersDilemma(t)
+	if _, err := nf.Payoffs([]int{0}); err == nil {
+		t.Error("short profile should error")
+	}
+	if _, err := nf.Payoffs([]int{0, 5}); err == nil {
+		t.Error("out-of-range strategy should error")
+	}
+	u, err := nf.Payoffs([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 5 || u[1] != 0 {
+		t.Fatalf("payoffs = %v, want [5 0]", u)
+	}
+}
+
+func TestPrisonersDilemmaNE(t *testing.T) {
+	nf := prisonersDilemma(t)
+	nes, err := nf.PureNE(1e-9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nes) != 1 || nes[0][0] != 1 || nes[0][1] != 1 {
+		t.Fatalf("NE = %v, want [[1 1]] (defect, defect)", nes)
+	}
+	// Defect-defect is famously NOT Pareto-optimal.
+	opt, err := nf.IsParetoOptimal([]int{1, 1}, 1e-9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt {
+		t.Fatal("defect-defect should be Pareto-dominated by cooperate-cooperate")
+	}
+	// Cooperate-cooperate is Pareto-optimal.
+	opt, err = nf.IsParetoOptimal([]int{0, 0}, 1e-9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt {
+		t.Fatal("cooperate-cooperate should be Pareto-optimal")
+	}
+}
+
+func TestMatchingPenniesHasNoPureNE(t *testing.T) {
+	nes, err := matchingPennies(t).PureNE(1e-9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nes) != 0 {
+		t.Fatalf("matching pennies has pure NE %v", nes)
+	}
+}
+
+func TestSocialOptimum(t *testing.T) {
+	nf := prisonersDilemma(t)
+	profile, welfare, err := nf.SocialOptimum(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if welfare != 6 || profile[0] != 0 || profile[1] != 0 {
+		t.Fatalf("optimum = %v @ %v, want [0 0] @ 6", profile, welfare)
+	}
+}
+
+func TestPriceOfAnarchyPD(t *testing.T) {
+	poa, err := prisonersDilemma(t).PriceOfAnarchy(1e-9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(poa-2.0/6.0) > 1e-12 {
+		t.Fatalf("PoA = %v, want 1/3", poa)
+	}
+}
+
+func TestPriceOfAnarchyNoNE(t *testing.T) {
+	if _, err := matchingPennies(t).PriceOfAnarchy(1e-9, 100); err == nil {
+		t.Fatal("no pure NE should error")
+	}
+}
+
+func TestProfileCap(t *testing.T) {
+	nf := prisonersDilemma(t)
+	if _, err := nf.PureNE(1e-9, 3); err == nil {
+		t.Error("cap should trigger for PureNE")
+	}
+	if _, _, err := nf.SocialOptimum(3); err == nil {
+		t.Error("cap should trigger for SocialOptimum")
+	}
+	if _, err := nf.IsParetoOptimal([]int{0, 0}, 1e-9, 3); err == nil {
+		t.Error("cap should trigger for IsParetoOptimal")
+	}
+}
+
+func TestParetoDominates(t *testing.T) {
+	nf := prisonersDilemma(t)
+	dom, err := nf.ParetoDominates([]int{0, 0}, []int{1, 1}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dom {
+		t.Fatal("CC should dominate DD")
+	}
+	dom, err = nf.ParetoDominates([]int{1, 0}, []int{0, 1}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom {
+		t.Fatal("asymmetric profiles should not dominate each other")
+	}
+	// A profile never dominates itself (no strict improvement).
+	dom, err = nf.ParetoDominates([]int{0, 0}, []int{0, 0}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom {
+		t.Fatal("profile should not dominate itself")
+	}
+}
+
+func TestChannelGameAdapterAgreesWithCore(t *testing.T) {
+	// Cross-validation (experiment E2): generic brute force over the lifted
+	// NormalForm finds exactly the same NE set as core's specialised
+	// enumeration, for several tiny games and rate shapes.
+	configs := []struct {
+		users, channels, radios int
+		rate                    ratefn.Func
+	}{
+		{2, 2, 1, ratefn.NewTDMA(1)},
+		{2, 2, 2, ratefn.NewTDMA(1)},
+		{2, 3, 2, ratefn.NewTDMA(1)},
+		{2, 2, 2, ratefn.Harmonic{R0: 1, Alpha: 1}},
+		{3, 2, 2, ratefn.Harmonic{R0: 1, Alpha: 0.3}},
+	}
+	for _, cfg := range configs {
+		g, err := core.NewGame(cfg.users, cfg.channels, cfg.radios, cfg.rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf, rows, err := ChannelGame(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		genericNE, err := nf.PureNE(core.DefaultEps, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coreNE, err := core.EnumerateNE(g, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(genericNE) != len(coreNE) {
+			t.Fatalf("%s %dx%dx%d: generic found %d NE, core found %d",
+				cfg.rate.Name(), cfg.users, cfg.channels, cfg.radios, len(genericNE), len(coreNE))
+		}
+		// Every generic NE, translated to a matrix, must be core-NE.
+		for _, profile := range genericNE {
+			matrix := make([][]int, len(profile))
+			for i, s := range profile {
+				matrix[i] = rows[s]
+			}
+			a, err := core.AllocFromMatrix(matrix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ne, err := g.IsNashEquilibrium(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ne {
+				t.Fatalf("%s: generic NE %v rejected by core oracle", cfg.rate.Name(), profile)
+			}
+		}
+	}
+}
+
+func TestChannelGameNilGame(t *testing.T) {
+	if _, _, err := ChannelGame(nil); err == nil {
+		t.Fatal("nil game should error")
+	}
+}
+
+func TestChannelGamePoAConstantRate(t *testing.T) {
+	// Constant rate, conflict regime: every NE occupies all channels, so
+	// PoA = 1 (Theorem 2's system-optimality corollary).
+	g, err := core.NewGame(2, 2, 2, ratefn.NewTDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, _, err := ChannelGame(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poa, err := nf.PriceOfAnarchy(core.DefaultEps, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(poa-1) > 1e-9 {
+		t.Fatalf("PoA = %v, want 1", poa)
+	}
+}

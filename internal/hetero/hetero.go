@@ -1,0 +1,283 @@
+// Package hetero extends the channel allocation game to heterogeneous
+// radio budgets: user i owns k_i <= |C| radios, with budgets differing
+// across users. The reproduced paper assumes a uniform k (its §2 model);
+// this package probes how far its results carry beyond that assumption —
+// the kind of generalisation the paper's conclusion gestures at.
+//
+// Empirically (see the package tests and experiment E11):
+//
+//   - Lemma 1 (full deployment) and Proposition 1 (loads within one radio)
+//     remain necessary for Nash equilibria under positive constant rates;
+//   - the sequential greedy allocation (Algorithm 1 run with per-user
+//     budgets) still lands on an exact Nash equilibrium.
+package hetero
+
+import (
+	"fmt"
+
+	"github.com/multiradio/chanalloc/internal/combin"
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+// Game is a channel allocation game with per-user radio budgets.
+type Game struct {
+	channels int
+	budgets  []int
+	rate     ratefn.Func
+}
+
+// NewGame validates budgets (1 <= k_i <= channels) and builds a game.
+func NewGame(channels int, budgets []int, rate ratefn.Func) (*Game, error) {
+	if channels < 1 {
+		return nil, fmt.Errorf("hetero: channels = %d, want >= 1", channels)
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("hetero: no users")
+	}
+	for i, k := range budgets {
+		if k < 1 {
+			return nil, fmt.Errorf("hetero: user %d budget %d, want >= 1", i, k)
+		}
+		if k > channels {
+			return nil, fmt.Errorf("hetero: user %d budget %d exceeds %d channels", i, k, channels)
+		}
+	}
+	if rate == nil {
+		return nil, fmt.Errorf("hetero: nil rate function")
+	}
+	return &Game{
+		channels: channels,
+		budgets:  append([]int(nil), budgets...),
+		rate:     rate,
+	}, nil
+}
+
+// Users returns |N|.
+func (g *Game) Users() int { return len(g.budgets) }
+
+// Channels returns |C|.
+func (g *Game) Channels() int { return g.channels }
+
+// Budget returns k_i.
+func (g *Game) Budget(i int) int { return g.budgets[i] }
+
+// Budgets returns a copy of the budget vector.
+func (g *Game) Budgets() []int { return append([]int(nil), g.budgets...) }
+
+// Rate returns the rate function.
+func (g *Game) Rate() ratefn.Func { return g.rate }
+
+// NewEmptyAlloc returns an all-zero allocation with this game's dimensions.
+func (g *Game) NewEmptyAlloc() *core.Alloc {
+	a, err := core.NewAlloc(g.Users(), g.channels)
+	if err != nil {
+		panic("hetero: invalid game dimensions: " + err.Error())
+	}
+	return a
+}
+
+// CheckAlloc verifies dimensions and per-user budgets.
+func (g *Game) CheckAlloc(a *core.Alloc) error {
+	if a == nil {
+		return fmt.Errorf("hetero: nil allocation")
+	}
+	if a.Users() != g.Users() || a.Channels() != g.channels {
+		return fmt.Errorf("hetero: allocation is %dx%d, game is %dx%d",
+			a.Users(), a.Channels(), g.Users(), g.channels)
+	}
+	for i := 0; i < g.Users(); i++ {
+		if total := a.UserTotal(i); total > g.budgets[i] {
+			return fmt.Errorf("hetero: user %d deploys %d radios, budget is %d", i, total, g.budgets[i])
+		}
+	}
+	return nil
+}
+
+// Utility computes U_i per the paper's Eq. 3.
+func (g *Game) Utility(a *core.Alloc, i int) float64 {
+	var u float64
+	for c := 0; c < a.Channels(); c++ {
+		ki := a.Radios(i, c)
+		if ki == 0 {
+			continue
+		}
+		kc := a.Load(c)
+		u += float64(ki) / float64(kc) * g.rate.Rate(kc)
+	}
+	return u
+}
+
+// Utilities computes every user's utility.
+func (g *Game) Utilities(a *core.Alloc) []float64 {
+	out := make([]float64, a.Users())
+	for i := range out {
+		out[i] = g.Utility(a, i)
+	}
+	return out
+}
+
+// Welfare computes Σ_{c : k_c > 0} R(k_c) = Σ_i U_i.
+func (g *Game) Welfare(a *core.Alloc) float64 {
+	var w float64
+	for c := 0; c < a.Channels(); c++ {
+		if kc := a.Load(c); kc > 0 {
+			w += g.rate.Rate(kc)
+		}
+	}
+	return w
+}
+
+// BestResponse computes user i's optimal reallocation within its budget.
+func (g *Game) BestResponse(a *core.Alloc, i int) ([]int, float64, error) {
+	if err := g.CheckAlloc(a); err != nil {
+		return nil, 0, err
+	}
+	if i < 0 || i >= g.Users() {
+		return nil, 0, fmt.Errorf("hetero: user %d out of range [0, %d)", i, g.Users())
+	}
+	ext := make([]int, g.channels)
+	for c := 0; c < g.channels; c++ {
+		ext[c] = a.Load(c) - a.Radios(i, c)
+	}
+	return core.BestResponseToLoads(g.rate, ext, g.budgets[i])
+}
+
+// FindDeviation returns a profitable unilateral deviation, or nil when a is
+// a Nash equilibrium within eps.
+func (g *Game) FindDeviation(a *core.Alloc, eps float64) (*core.Deviation, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("hetero: negative tolerance %v", eps)
+	}
+	for i := 0; i < g.Users(); i++ {
+		current := g.Utility(a, i)
+		row, best, err := g.BestResponse(a, i)
+		if err != nil {
+			return nil, err
+		}
+		if best > current+eps {
+			return &core.Deviation{
+				User:    i,
+				Current: a.Row(i),
+				Better:  row,
+				Gain:    best - current,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// IsNashEquilibrium decides NE membership with the exact best-response
+// oracle at tolerance core.DefaultEps.
+func (g *Game) IsNashEquilibrium(a *core.Alloc) (bool, error) {
+	dev, err := g.FindDeviation(a, core.DefaultEps)
+	if err != nil {
+		return false, err
+	}
+	return dev == nil, nil
+}
+
+// Algorithm1 runs the paper's sequential greedy allocation with per-user
+// budgets: users place their radios in index order, each radio on a least
+// loaded channel (preferring channels the user does not occupy yet).
+func Algorithm1(g *Game, tie core.TieBreak, seed uint64) (*core.Alloc, error) {
+	if tie == 0 {
+		tie = core.TieFirst
+	}
+	a := g.NewEmptyAlloc()
+	placer := core.Placer{Tie: tie, RNG: des.NewRNG(seed)}
+	for i := 0; i < g.Users(); i++ {
+		row, err := placer.Place(a.Loads(), g.budgets[i])
+		if err != nil {
+			return nil, fmt.Errorf("hetero: algorithm1 user %d: %w", i, err)
+		}
+		if err := a.SetRow(i, row); err != nil {
+			return nil, fmt.Errorf("hetero: algorithm1 applying row for user %d: %w", i, err)
+		}
+	}
+	return a, nil
+}
+
+// LoadBalanced reports whether max and min channel loads differ by at most
+// one (the generalised Proposition 1 property).
+func LoadBalanced(a *core.Alloc) bool {
+	maxLoad, _ := a.MaxLoad()
+	minLoad, _ := a.MinLoad()
+	return maxLoad-minLoad <= 1
+}
+
+// FullDeployment reports whether every user uses its whole budget (the
+// generalised Lemma 1 property).
+func (g *Game) FullDeployment(a *core.Alloc) bool {
+	for i := 0; i < g.Users(); i++ {
+		if a.UserTotal(i) != g.budgets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachAlloc enumerates every legal strategy matrix (budgets respected,
+// idle radios allowed), guarded by maxProfiles. Exponential: exhaustive
+// oracles on tiny instances only.
+func ForEachAlloc(g *Game, maxProfiles int64, fn func(*core.Alloc) bool) error {
+	rowsPerUser := make([][][]int, g.Users())
+	for i := 0; i < g.Users(); i++ {
+		for total := 0; total <= g.budgets[i]; total++ {
+			err := combin.Compositions(total, g.channels, func(row []int) bool {
+				rowsPerUser[i] = append(rowsPerUser[i], append([]int(nil), row...))
+				return true
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	totalProfiles := int64(1)
+	sizes := make([]int, g.Users())
+	for i, rows := range rowsPerUser {
+		sizes[i] = len(rows)
+		if totalProfiles > maxProfiles/int64(len(rows))+1 {
+			return fmt.Errorf("hetero: strategy space too large (> %d profiles)", maxProfiles)
+		}
+		totalProfiles *= int64(len(rows))
+	}
+	if totalProfiles > maxProfiles {
+		return fmt.Errorf("hetero: strategy space has %d profiles, cap is %d", totalProfiles, maxProfiles)
+	}
+
+	a := g.NewEmptyAlloc()
+	return combin.Product(sizes, func(idx []int) bool {
+		for i, ri := range idx {
+			if err := a.SetRow(i, rowsPerUser[i][ri]); err != nil {
+				return false
+			}
+		}
+		return fn(a)
+	})
+}
+
+// EnumerateNE collects every exact Nash equilibrium of a tiny game.
+func EnumerateNE(g *Game, maxProfiles int64) ([]*core.Alloc, error) {
+	var out []*core.Alloc
+	var innerErr error
+	err := ForEachAlloc(g, maxProfiles, func(a *core.Alloc) bool {
+		ne, err := g.IsNashEquilibrium(a)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if ne {
+			out = append(out, a.Clone())
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	return out, nil
+}

@@ -1,0 +1,322 @@
+package hetero
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+func mustGame(t *testing.T, channels int, budgets []int, r ratefn.Func) *Game {
+	t.Helper()
+	g, err := NewGame(channels, budgets, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGameValidation(t *testing.T) {
+	r := ratefn.NewTDMA(1)
+	if _, err := NewGame(0, []int{1}, r); err == nil {
+		t.Error("zero channels should error")
+	}
+	if _, err := NewGame(3, nil, r); err == nil {
+		t.Error("no users should error")
+	}
+	if _, err := NewGame(3, []int{0}, r); err == nil {
+		t.Error("zero budget should error")
+	}
+	if _, err := NewGame(3, []int{4}, r); err == nil {
+		t.Error("budget > channels should error")
+	}
+	if _, err := NewGame(3, []int{2}, nil); err == nil {
+		t.Error("nil rate should error")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := mustGame(t, 4, []int{3, 1, 2}, ratefn.NewTDMA(1))
+	if g.Users() != 3 || g.Channels() != 4 {
+		t.Fatalf("dims %dx%d", g.Users(), g.Channels())
+	}
+	if g.Budget(0) != 3 || g.Budget(1) != 1 || g.Budget(2) != 2 {
+		t.Fatal("budgets wrong")
+	}
+	budgets := g.Budgets()
+	budgets[0] = 99
+	if g.Budget(0) == 99 {
+		t.Fatal("Budgets returned aliased storage")
+	}
+}
+
+func TestCheckAllocBudgets(t *testing.T) {
+	g := mustGame(t, 3, []int{2, 1}, ratefn.NewTDMA(1))
+	ok, err := core.AllocFromMatrix([][]int{
+		{1, 1, 0},
+		{0, 0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckAlloc(ok); err != nil {
+		t.Fatalf("legal alloc rejected: %v", err)
+	}
+	over, err := core.AllocFromMatrix([][]int{
+		{1, 1, 0},
+		{1, 0, 1}, // budget 1, deploys 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckAlloc(over); err == nil {
+		t.Fatal("over-budget user not rejected")
+	}
+	if err := g.CheckAlloc(nil); err == nil {
+		t.Fatal("nil alloc not rejected")
+	}
+}
+
+func TestUtilityMatchesUniformCore(t *testing.T) {
+	// With equal budgets the hetero game must agree with core exactly.
+	budgets := []int{4, 4, 4, 4}
+	hg := mustGame(t, 5, budgets, ratefn.NewTDMA(1))
+	cg, err := core.NewGame(4, 5, 4, ratefn.NewTDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.AllocFromMatrix([][]int{
+		{1, 1, 1, 1, 0},
+		{1, 0, 1, 0, 1},
+		{1, 2, 0, 1, 0},
+		{1, 0, 0, 1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(hg.Utility(a, i)-cg.Utility(a, i)) > 1e-12 {
+			t.Errorf("u%d: hetero %v vs core %v", i+1, hg.Utility(a, i), cg.Utility(a, i))
+		}
+	}
+	if math.Abs(hg.Welfare(a)-cg.Welfare(a)) > 1e-12 {
+		t.Error("welfare mismatch with core")
+	}
+}
+
+func TestUtilitySumEqualsWelfare(t *testing.T) {
+	g := mustGame(t, 4, []int{3, 1, 2}, ratefn.Harmonic{R0: 2, Alpha: 0.5})
+	a, err := Algorithm1(g, core.TieFirst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i < g.Users(); i++ {
+		sum += g.Utility(a, i)
+	}
+	if math.Abs(sum-g.Welfare(a)) > 1e-9 {
+		t.Fatalf("ΣU = %v, welfare = %v", sum, g.Welfare(a))
+	}
+}
+
+func TestAlgorithm1HeteroIsNE(t *testing.T) {
+	// E11 headline: sequential greedy with heterogeneous budgets still
+	// lands on exact Nash equilibria, across rate shapes and random budget
+	// mixes.
+	rates := []ratefn.Func{
+		ratefn.NewTDMA(1),
+		ratefn.Harmonic{R0: 1, Alpha: 0.5},
+		ratefn.Geometric{R0: 1, Beta: 0.7},
+	}
+	for _, r := range rates {
+		for seed := uint64(0); seed < 20; seed++ {
+			rng := des.NewRNG(seed)
+			channels := 2 + rng.Intn(5)
+			users := 1 + rng.Intn(5)
+			budgets := make([]int, users)
+			for i := range budgets {
+				budgets[i] = 1 + rng.Intn(channels)
+			}
+			g := mustGame(t, channels, budgets, r)
+			a, err := Algorithm1(g, core.TieRandom, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.FullDeployment(a) {
+				t.Fatalf("%s seed %d: not full deployment", r.Name(), seed)
+			}
+			ne, err := g.IsNashEquilibrium(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ne {
+				dev, _ := g.FindDeviation(a, core.DefaultEps)
+				t.Fatalf("%s seed %d budgets %v: not NE: %v\n%v", r.Name(), seed, budgets, dev, a)
+			}
+		}
+	}
+}
+
+func TestHeteroNEPropertiesExhaustive(t *testing.T) {
+	// Generalised Lemma 1 and Proposition 1: on tiny heterogeneous games
+	// with positive constant rate, every exact NE deploys all budgets and
+	// keeps channel loads within one.
+	configs := []struct {
+		channels int
+		budgets  []int
+	}{
+		{2, []int{2, 1}},
+		{3, []int{2, 1}},
+		{3, []int{3, 1, 1}},
+		{2, []int{2, 2, 1}},
+	}
+	for _, cfg := range configs {
+		g := mustGame(t, cfg.channels, cfg.budgets, ratefn.NewTDMA(1))
+		nes, err := EnumerateNE(g, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nes) == 0 {
+			t.Fatalf("C=%d budgets %v: no NE", cfg.channels, cfg.budgets)
+		}
+		for _, ne := range nes {
+			if !g.FullDeployment(ne) {
+				t.Errorf("C=%d budgets %v: NE with idle radios:\n%v", cfg.channels, cfg.budgets, ne)
+			}
+			if !LoadBalanced(ne) {
+				t.Errorf("C=%d budgets %v: unbalanced NE (δ>1):\n%v", cfg.channels, cfg.budgets, ne)
+			}
+		}
+	}
+}
+
+func TestBestResponseRespectsBudget(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := des.NewRNG(seed)
+		channels := 2 + rng.Intn(4)
+		budgets := []int{1 + rng.Intn(channels), 1 + rng.Intn(channels)}
+		g, err := NewGame(channels, budgets, ratefn.NewTDMA(1))
+		if err != nil {
+			return false
+		}
+		a, err := Algorithm1(g, core.TieFirst, 0)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < g.Users(); i++ {
+			row, _, err := g.BestResponse(a, i)
+			if err != nil {
+				return false
+			}
+			total := 0
+			for _, x := range row {
+				total += x
+			}
+			if total > g.Budget(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestResponseErrors(t *testing.T) {
+	g := mustGame(t, 3, []int{2, 1}, ratefn.NewTDMA(1))
+	a := g.NewEmptyAlloc()
+	if _, _, err := g.BestResponse(a, -1); err == nil {
+		t.Error("bad user should error")
+	}
+	if _, _, err := g.BestResponse(a, 5); err == nil {
+		t.Error("bad user should error")
+	}
+	wrong, err := core.NewAlloc(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.BestResponse(wrong, 0); err == nil {
+		t.Error("mismatched alloc should error")
+	}
+	if _, err := g.FindDeviation(a, -1); err == nil {
+		t.Error("negative eps should error")
+	}
+}
+
+func TestForEachAllocCap(t *testing.T) {
+	g := mustGame(t, 4, []int{4, 4, 4}, ratefn.NewTDMA(1))
+	if err := ForEachAlloc(g, 10, func(*core.Alloc) bool { return true }); err == nil {
+		t.Fatal("profile cap should trigger")
+	}
+}
+
+func TestForEachAllocCount(t *testing.T) {
+	// C=2, budgets (1,1): rows per user = 3 (empty, c1, c2) -> 9 profiles.
+	g := mustGame(t, 2, []int{1, 1}, ratefn.NewTDMA(1))
+	count := 0
+	if err := ForEachAlloc(g, 100, func(*core.Alloc) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 9 {
+		t.Fatalf("enumerated %d profiles, want 9", count)
+	}
+}
+
+func TestMixedBudgetsFairness(t *testing.T) {
+	// A user with twice the radios should earn roughly twice the rate at a
+	// balanced NE under constant R (its radios sit on equally loaded
+	// channels).
+	g := mustGame(t, 6, []int{4, 2, 4, 2}, ratefn.NewTDMA(1))
+	a, err := Algorithm1(g, core.TieFirst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := g.IsNashEquilibrium(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ne {
+		t.Fatal("hetero Algorithm 1 output not NE")
+	}
+	u := g.Utilities(a)
+	ratio := u[0] / u[1]
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("4-radio vs 2-radio utility ratio %v, want ~2", ratio)
+	}
+}
+
+func TestAlgorithm1HeteroOrderMatters(t *testing.T) {
+	// Placing the big-budget user first or last changes the matrix but not
+	// the NE property.
+	g := mustGame(t, 4, []int{4, 1, 1}, ratefn.NewTDMA(1))
+	a, err := Algorithm1(g, core.TieFirst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := g.IsNashEquilibrium(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ne {
+		t.Fatal("not NE with big user first")
+	}
+	gRev := mustGame(t, 4, []int{1, 1, 4}, ratefn.NewTDMA(1))
+	aRev, err := Algorithm1(gRev, core.TieFirst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err = gRev.IsNashEquilibrium(aRev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ne {
+		t.Fatal("not NE with big user last")
+	}
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+func TestFigure1Scenario(t *testing.T) {
+	s, err := Figure1(ratefn.NewTDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Game.Users() != 4 || s.Game.Channels() != 5 || s.Game.Radios() != 4 {
+		t.Fatalf("dims %dx%dx%d, want 4x5x4", s.Game.Users(), s.Game.Channels(), s.Game.Radios())
+	}
+	// The paper's own reading of Figure 1: loads 4,3,2,3,1 and it is NOT a NE.
+	wantLoads := []int{4, 3, 2, 3, 1}
+	for c, want := range wantLoads {
+		if got := s.Alloc.Load(c); got != want {
+			t.Errorf("load(c%d) = %d, want %d", c+1, got, want)
+		}
+	}
+	ne, err := s.Game.IsNashEquilibrium(s.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne {
+		t.Fatal("Figure 1 must not be a NE")
+	}
+	if len(core.CheckAllLemmas(s.Game, s.Alloc)) == 0 {
+		t.Fatal("Figure 1 must violate lemmas")
+	}
+}
+
+func TestFigure4Scenario(t *testing.T) {
+	s, err := Figure4(ratefn.NewTDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, v := core.TheoremNE(s.Game, s.Alloc); !ok {
+		t.Fatalf("Figure 4 should satisfy Theorem 1: %v", v)
+	}
+	ne, err := s.Game.IsNashEquilibrium(s.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ne {
+		t.Fatal("Figure 4 should be a NE")
+	}
+	// u1 is the exception user: two radios on c5.
+	if s.Alloc.Radios(0, 4) != 2 {
+		t.Fatalf("u1 has %d radios on c5, want 2", s.Alloc.Radios(0, 4))
+	}
+}
+
+func TestFigure5Scenario(t *testing.T) {
+	s, err := Figure5(ratefn.NewTDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, v := core.TheoremNE(s.Game, s.Alloc); !ok {
+		t.Fatalf("Figure 5 should satisfy Theorem 1: %v", v)
+	}
+	// No user holds more than one radio on any channel.
+	for i := 0; i < s.Game.Users(); i++ {
+		for c := 0; c < s.Game.Channels(); c++ {
+			if s.Alloc.Radios(i, c) > 1 {
+				t.Fatalf("u%d stacks radios on c%d", i+1, c+1)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	r := ratefn.NewTDMA(1)
+	for _, name := range Names() {
+		s, err := ByName(name, r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("scenario name %q, want %q", s.Name, name)
+		}
+		if s.Description == "" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+	if _, err := ByName("nope", r); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	s, err := Figure4(ratefn.NewTDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ratefn.Harmonic{R0: 1, Alpha: 1}
+	s2, err := s.Rebuild(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Game.Rate().Name() != h.Name() {
+		t.Fatalf("rebuilt rate = %s, want %s", s2.Game.Rate().Name(), h.Name())
+	}
+	// Allocation is cloned, not shared.
+	if err := s2.Alloc.Add(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Alloc.Radios(0, 0) == s2.Alloc.Radios(0, 0) {
+		t.Fatal("rebuild shares allocation storage")
+	}
+}
+
+func TestRebuildExceptionNEBreaksUnderSharpDecay(t *testing.T) {
+	// Experiment E8's core observation: the Figure-4 exception NE survives
+	// constant R but admits a deviation under R(k) = 1/k (u1 moving a c5
+	// radio to c6 gains). Theorem 1's sufficiency needs mild decay.
+	s, err := Figure4(ratefn.Harmonic{R0: 1, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := core.TheoremNE(s.Game, s.Alloc); !ok {
+		t.Fatal("theorem conditions are rate-independent and should still hold")
+	}
+	ne, err := s.Game.IsNashEquilibrium(s.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne {
+		t.Fatal("Figure 4 should admit a deviation under R(k)=1/k")
+	}
+}
+
+func TestRandomGame(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		g, err := RandomGame(seed, 6, 8, 5, ratefn.NewTDMA(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Users() < 1 || g.Users() > 6 {
+			t.Fatalf("users %d out of range", g.Users())
+		}
+		if g.Channels() < 1 || g.Channels() > 8 {
+			t.Fatalf("channels %d out of range", g.Channels())
+		}
+		if g.Radios() < 1 || g.Radios() > g.Channels() || g.Radios() > 5 {
+			t.Fatalf("radios %d invalid for %d channels", g.Radios(), g.Channels())
+		}
+	}
+	if _, err := RandomGame(1, 0, 2, 2, ratefn.NewTDMA(1)); err == nil {
+		t.Fatal("invalid bounds should error")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	var seen int
+	err := Sweep(1, 2, 1, 3, 2, func(n, c, k int) error {
+		if k > c || k > 2 {
+			t.Fatalf("invalid triple (%d,%d,%d)", n, c, k)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N in {1,2}; C=1: k=1; C=2: k in {1,2}; C=3: k in {1,2} -> 5 per N.
+	if seen != 10 {
+		t.Fatalf("sweep visited %d triples, want 10", seen)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if err := Sweep(0, 1, 1, 1, 1, func(int, int, int) error { return nil }); err == nil {
+		t.Error("invalid bounds should error")
+	}
+	if err := Sweep(2, 1, 1, 1, 1, func(int, int, int) error { return nil }); err == nil {
+		t.Error("inverted bounds should error")
+	}
+}
+
+func TestSweepPropagatesCallbackError(t *testing.T) {
+	sentinel := false
+	err := Sweep(1, 3, 1, 3, 3, func(n, c, k int) error {
+		if n == 2 {
+			sentinel = true
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop || !sentinel {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }

@@ -1,0 +1,105 @@
+package chanalloc
+
+import (
+	"github.com/multiradio/chanalloc/internal/bianchi"
+	"github.com/multiradio/chanalloc/internal/macsim"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+// TDMA returns the reservation-TDMA rate function: R(k) = r0 for every
+// k >= 1 (the paper's headline constant-rate regime, Figure 3's top line).
+func TDMA(r0 float64) RateFunc { return ratefn.NewTDMA(r0) }
+
+// HarmonicRate returns R(k) = r0 / (1 + alpha·(k-1)); alpha = 0 is constant
+// and larger alpha degrades faster. Used by the ablation experiments to
+// probe how much decay Theorem 1's sufficiency tolerates.
+func HarmonicRate(r0, alpha float64) RateFunc { return ratefn.Harmonic{R0: r0, Alpha: alpha} }
+
+// GeometricRate returns R(k) = r0 · beta^(k-1), 0 < beta <= 1.
+func GeometricRate(r0, beta float64) RateFunc { return ratefn.Geometric{R0: r0, Beta: beta} }
+
+// LinearRate returns R(k) = max(0, r0 - slope·(k-1)); it reaches exactly
+// zero at finite load, exercising R = 0 edge cases.
+func LinearRate(r0, slope float64) RateFunc { return ratefn.Linear{R0: r0, Slope: slope} }
+
+// TableRate builds a rate function from explicit non-increasing samples,
+// e.g. measurements from a testbed.
+func TableRate(name string, values []float64) (RateFunc, error) {
+	return ratefn.NewTable(name, values)
+}
+
+// ValidateRate checks the rate-function contract (R(0)=0, non-negative,
+// non-increasing) for k in [1, maxK].
+func ValidateRate(f RateFunc, maxK int) error { return ratefn.Validate(f, maxK) }
+
+// DCFParams parameterises Bianchi's 802.11 DCF model.
+type DCFParams = bianchi.Params
+
+// DCFResult is a solved DCF operating point.
+type DCFResult = bianchi.Result
+
+// Default80211b returns 802.11b DSSS parameters (11 Mbit/s data rate, long
+// preamble).
+func Default80211b() DCFParams { return bianchi.Default80211b() }
+
+// Bianchi1Mbps returns the 1 Mbit/s parameter set of Bianchi's JSAC paper,
+// useful for validating against his published numbers.
+func Bianchi1Mbps() DCFParams { return bianchi.Bianchi1Mbps() }
+
+// SolveDCF computes the saturation operating point for n stations under
+// binary exponential backoff (the "practical CSMA/CA" of Figure 3).
+func SolveDCF(p DCFParams, n int) (DCFResult, error) { return bianchi.Solve(p, n) }
+
+// SolveDCFOptimal computes the operating point under the approximately
+// throughput-optimal backoff (the "optimal CSMA/CA" of Figure 3).
+func SolveDCFOptimal(p DCFParams, n int) (DCFResult, error) { return bianchi.SolveOptimal(p, n) }
+
+// PracticalCSMA adapts the practical-DCF saturation throughput to a game
+// rate function (monotone envelope + memoisation applied).
+func PracticalCSMA(p DCFParams) (RateFunc, error) { return bianchi.PracticalRate(p) }
+
+// OptimalCSMA adapts the optimal-backoff throughput to a game rate function.
+func OptimalCSMA(p DCFParams) (RateFunc, error) { return bianchi.OptimalRate(p) }
+
+// CSMASimResult reports a slot-level saturated CSMA/CA simulation.
+type CSMASimResult = macsim.CSMAResult
+
+// SimulateCSMA runs the slot-level DCF simulator for n stations; it
+// validates the analytic model and the equal-share assumption (Jain index
+// ≈ 1 across stations).
+func SimulateCSMA(p DCFParams, n int, cycles int64, seed uint64) (CSMASimResult, error) {
+	return macsim.SimulateCSMA(p, n, cycles, seed)
+}
+
+// TDMASimConfig parameterises the reservation-TDMA frame simulator.
+type TDMASimConfig = macsim.TDMAConfig
+
+// TDMASimResult reports a reservation-TDMA simulation.
+type TDMASimResult = macsim.TDMAResult
+
+// SimulateTDMA runs the frame-level reservation TDMA simulator.
+func SimulateTDMA(cfg TDMASimConfig) (TDMASimResult, error) {
+	return macsim.SimulateTDMA(cfg)
+}
+
+// EmpiricalCSMARate measures R(k) for k = 1..maxK by simulation and freezes
+// the result into a table-backed rate function.
+func EmpiricalCSMARate(p DCFParams, maxK int, cycles int64, seed uint64) (RateFunc, error) {
+	return macsim.EmpiricalCSMARate(p, maxK, cycles, seed)
+}
+
+// ChannelSchedule is one channel's reservation-TDMA frame.
+type ChannelSchedule = macsim.ChannelSchedule
+
+// BuildTDMASchedules derives the per-channel round-robin TDMA frames that
+// realise the game's equal-share assumption: each radio on a channel owns
+// exactly one slot per frame.
+func BuildTDMASchedules(a *Alloc) ([]ChannelSchedule, error) {
+	return macsim.BuildSchedules(a)
+}
+
+// VerifyFairShare checks that schedules grant each user exactly
+// k_{i,c}/k_c of every channel.
+func VerifyFairShare(a *Alloc, schedules []ChannelSchedule) error {
+	return macsim.VerifyFairShare(a, schedules)
+}

@@ -1,0 +1,28 @@
+package chanalloc
+
+import (
+	"github.com/multiradio/chanalloc/internal/workload"
+)
+
+// Scenario is a named game instance from the paper, optionally with a
+// pinned strategy matrix.
+type Scenario = workload.Scenario
+
+// ScenarioFigure1 returns the paper's Figure 1/2 worked example (a non-NE
+// allocation violating Lemmas 1-3).
+func ScenarioFigure1(r RateFunc) (*Scenario, error) { return workload.Figure1(r) }
+
+// ScenarioFigure4 returns a NE with Figure 4's structure (exception user).
+func ScenarioFigure4(r RateFunc) (*Scenario, error) { return workload.Figure4(r) }
+
+// ScenarioFigure5 returns a NE with Figure 5's structure (no exception
+// user).
+func ScenarioFigure5(r RateFunc) (*Scenario, error) { return workload.Figure5(r) }
+
+// ScenarioByName resolves "fig1", "fig4" or "fig5".
+func ScenarioByName(name string, r RateFunc) (*Scenario, error) {
+	return workload.ByName(name, r)
+}
+
+// ScenarioNames lists the available paper scenarios.
+func ScenarioNames() []string { return workload.Names() }
