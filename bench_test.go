@@ -3,7 +3,7 @@
 //
 //	go test -bench=. -benchmem
 //
-// Figure mapping (see DESIGN.md §4 and EXPERIMENTS.md):
+// Figure mapping (see the "Figure mapping" section of EXPERIMENTS.md):
 //
 //	BenchmarkFigure1* — Figures 1-2: the worked example and its lemma audit
 //	BenchmarkFigure3* — Figure 3: R(k_c) curves for TDMA / optimal / practical CSMA-CA
@@ -13,10 +13,13 @@
 // The remaining benchmarks cover Algorithm 1, the best-response DP, the
 // exact-arithmetic oracle, convergence dynamics, the distributed protocol
 // and the MAC simulators — the machinery every experiment is built from.
+// The Benchmark*Parallel* pairs compare the engine-sharded batch paths
+// (EXPERIMENTS.md "Benchmarks") at workers=1 vs workers=NumCPU.
 package chanalloc_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/multiradio/chanalloc"
@@ -312,6 +315,66 @@ func BenchmarkSimultaneousDynamics(b *testing.B) {
 		if _, err := chanalloc.RunSimultaneous(g, start, 0.5, chanalloc.WithDynamicsSeed(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEnumerateNEParallel measures the exhaustive NE enumeration
+// sharded over the engine, at one worker (the serial baseline cost plus
+// pool overhead) and at NumCPU workers.
+func BenchmarkEnumerateNEParallel(b *testing.B) {
+	g := benchGame(b, 4, 4, 2, chanalloc.TDMA(1))
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nes, err := chanalloc.EnumerateNEParallel(g, 10_000_000, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(nes) == 0 {
+					b.Fatal("no NE found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnumerateNESerial is the unsharded baseline for
+// BenchmarkEnumerateNEParallel.
+func BenchmarkEnumerateNESerial(b *testing.B) {
+	g := benchGame(b, 4, 4, 2, chanalloc.TDMA(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nes, err := chanalloc.EnumerateNE(g, 10_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(nes) == 0 {
+			b.Fatal("no NE found")
+		}
+	}
+}
+
+// BenchmarkDynamicsBatchParallel measures a 32-replicate best-response
+// batch (experiment E6's engine path) at one worker vs NumCPU workers.
+func BenchmarkDynamicsBatchParallel(b *testing.B) {
+	g := benchGame(b, 16, 12, 6, chanalloc.TDMA(1))
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := chanalloc.RunBatch(g, chanalloc.BatchSpec{
+					Process:    chanalloc.BestResponseProcess,
+					Replicates: 32,
+					Seed:       9,
+					Workers:    workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Converged != 32 {
+					b.Fatalf("converged %d/32", res.Converged)
+				}
+			}
+		})
 	}
 }
 

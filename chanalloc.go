@@ -20,9 +20,29 @@
 //	ok, _ := chanalloc.TheoremNE(g, ne)      // paper's Theorem 1 checker
 //	stable, _ := g.IsNashEquilibrium(ne)     // exact best-response oracle
 //
+// # Scenario registry
+//
+// Workloads resolve by name through an open registry: the paper's worked
+// examples ("fig1", "fig4", "fig5"), parametric families
+// ("random:N,C,k[,seed]", "hetero:C,k1,k2,..."), and deployment-flavoured
+// workloads ("mesh", "cognitive"). ScenarioByName resolves any of them;
+// RegisterScenario plugs in new families:
+//
+//	s, err := chanalloc.ScenarioByName("random:8,6,3", chanalloc.TDMA(54))
+//
+// # Parallel experiment engine
+//
+// Batch paths run on a deterministic worker pool (ParallelMap,
+// EnumerateNEParallel, RunBatch): jobs fan out over runtime.NumCPU()
+// workers, every job draws randomness from a PRNG stream derived from the
+// root seed and the job index alone, and results fan in ordered by job —
+// so batch output is byte-identical for every worker count. cmd/sweep runs
+// its whole experiment suite (EXPERIMENTS.md) on this engine via -seed and
+// -workers.
+//
 // The package is a facade: implementation lives in internal packages (core,
-// ratefn, bianchi, macsim, des, dynamics, dist, ...), each documented and
-// tested on its own.
+// ratefn, bianchi, macsim, des, engine, workload, dynamics, dist, ...),
+// each documented and tested on its own.
 package chanalloc
 
 import (

@@ -1,7 +1,9 @@
 package chanalloc_test
 
 import (
+	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"github.com/multiradio/chanalloc"
@@ -92,7 +94,8 @@ func TestPublicCSMAAdapters(t *testing.T) {
 }
 
 func TestPublicScenarios(t *testing.T) {
-	for _, name := range chanalloc.ScenarioNames() {
+	// The paper's worked examples pin a strategy matrix.
+	for _, name := range []string{"fig1", "fig4", "fig5"} {
 		s, err := chanalloc.ScenarioByName(name, chanalloc.TDMA(1))
 		if err != nil {
 			t.Fatal(err)
@@ -101,7 +104,38 @@ func TestPublicScenarios(t *testing.T) {
 			t.Fatalf("%s has no pinned allocation", name)
 		}
 	}
+	// Every registered family carries usage text and resolves via the
+	// registry (parametric families with example parameters).
+	if len(chanalloc.ScenarioNames()) < 7 {
+		t.Fatalf("registry too small: %v", chanalloc.ScenarioNames())
+	}
+	for _, name := range []string{"mesh", "cognitive", "random:8,6,3", "hetero:6,4,4,2,1"} {
+		s, err := chanalloc.ScenarioByName(name, chanalloc.TDMA(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Game == nil && s.Hetero == nil {
+			t.Fatalf("%s resolved without a game", name)
+		}
+	}
+	// The registry is process-global: use a unique name per run so the
+	// test stays idempotent under -count=N.
+	name := fmt.Sprintf("facade-test-%d", facadeRegistrations.Add(1))
+	if err := chanalloc.RegisterScenario(
+		chanalloc.ScenarioFamily{Name: name, Usage: name, Description: "test"},
+		func(params string, r chanalloc.RateFunc) (*chanalloc.Scenario, error) {
+			return chanalloc.ScenarioFigure4(r)
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chanalloc.ScenarioByName(name, chanalloc.TDMA(1)); err != nil {
+		t.Fatal(err)
+	}
 }
+
+// facadeRegistrations keeps registry-mutating tests idempotent across
+// repeated runs in one process.
+var facadeRegistrations atomic.Int64
 
 func TestPublicDynamics(t *testing.T) {
 	g, err := chanalloc.NewGame(5, 4, 3, chanalloc.TDMA(1))

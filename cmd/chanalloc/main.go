@@ -20,6 +20,17 @@
 //	    Run the distributed token-ring protocol in-process and verify the
 //	    resulting equilibrium.
 //
+//	chanalloc -mode scenario -scenario fig4
+//	chanalloc -mode scenario -scenario random:8,6,3 -rate harmonic:1:0.5
+//	chanalloc -mode scenario -scenario list
+//	    Load a workload from the scenario registry and audit it (pinned
+//	    allocations are audited as-is; generated scenarios run the greedy
+//	    allocation first). "-scenario list" prints every registered family
+//	    with its usage grammar and description — the listing comes from
+//	    the registry itself, so it stays current as families are added.
+//	    The registry is open: library users can add families with
+//	    chanalloc.RegisterScenario and resolve them here by name.
+//
 // Rate functions (-rate): tdma:R0 | harmonic:R0:alpha | geometric:R0:beta |
 // csma-practical | csma-optimal (802.11b parameters) |
 // csma-practical:1mbps | csma-optimal:1mbps (Bianchi's 1 Mbit/s set).
@@ -49,6 +60,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.mode == "scenario" {
+		return scenarioMode(out, cfg)
+	}
 	g, err := chanalloc.NewGame(cfg.users, cfg.channels, cfg.radios, cfg.rate)
 	if err != nil {
 		return err
@@ -63,8 +77,65 @@ func run(args []string, out io.Writer) error {
 	case "distributed":
 		return distributed(out, g, cfg)
 	default:
-		return fmt.Errorf("unknown mode %q (want allocate, verify, dynamics or distributed)", cfg.mode)
+		return fmt.Errorf("unknown mode %q (want allocate, verify, dynamics, distributed or scenario)", cfg.mode)
 	}
+}
+
+// scenarioMode resolves a workload from the scenario registry and audits
+// it: pinned allocations as-is, generated scenarios after a greedy
+// allocation run.
+func scenarioMode(out io.Writer, cfg *config) error {
+	if cfg.scenario == "list" {
+		fmt.Fprintln(out, "Registered scenario families:")
+		for _, f := range chanalloc.ScenarioFamilies() {
+			fmt.Fprintf(out, "  %-34s %s\n", f.Usage, f.Description)
+		}
+		return nil
+	}
+	if cfg.scenario == "" {
+		return fmt.Errorf("-mode scenario needs -scenario <name> (or '-scenario list'); registered: %s",
+			strings.Join(familyUsages(), ", "))
+	}
+	s, err := chanalloc.ScenarioByName(cfg.scenario, cfg.rate)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Scenario %s: %s\n", s.Name, s.Description)
+
+	if s.Hetero != nil {
+		a := s.Alloc
+		if a == nil {
+			if a, err = chanalloc.HeteroAlgorithm1(s.Hetero, cfg.tie, cfg.seed); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(out, "\nAllocation:")
+		fmt.Fprint(out, chanalloc.OccupancyDiagram(a))
+		fmt.Fprintln(out)
+		ne, err := s.Hetero.IsNashEquilibrium(a)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nBest-response oracle: NE=%v\n", ne)
+		fmt.Fprintf(out, "Load-balanced (δ<=1): %v\n", chanalloc.LoadBalanced(a))
+		fmt.Fprintln(out, "Per-user utilities:")
+		for i, u := range s.Hetero.Utilities(a) {
+			fmt.Fprintf(out, "  u%d (k=%d): %.4f\n", i+1, s.Hetero.Budget(i), u)
+		}
+		fmt.Fprintf(out, "Welfare: %.4f\n", s.Hetero.Welfare(a))
+		return nil
+	}
+
+	a := s.Alloc
+	if a == nil {
+		opts := []chanalloc.Algorithm1Option{
+			chanalloc.WithTieBreak(cfg.tie), chanalloc.WithSeed(cfg.seed),
+		}
+		if a, err = chanalloc.Algorithm1(s.Game, opts...); err != nil {
+			return err
+		}
+	}
+	return report(out, s.Game, a)
 }
 
 func allocate(out io.Writer, g *chanalloc.Game, cfg *config) error {
@@ -189,11 +260,12 @@ type config struct {
 	in                      string
 	process                 string
 	policy                  string
+	scenario                string
 }
 
 func parseFlags(args []string) (*config, error) {
 	fs := flag.NewFlagSet("chanalloc", flag.ContinueOnError)
-	mode := fs.String("mode", "allocate", "allocate | verify | dynamics | distributed")
+	mode := fs.String("mode", "allocate", "allocate | verify | dynamics | distributed | scenario")
 	users := fs.Int("users", 7, "number of users |N|")
 	channels := fs.Int("channels", 6, "number of channels |C|")
 	radios := fs.Int("radios", 4, "radios per user k (k <= |C|)")
@@ -204,6 +276,9 @@ func parseFlags(args []string) (*config, error) {
 	in := fs.String("in", "-", "matrix input for -mode verify ('-' = stdin)")
 	process := fs.String("process", "br", "dynamics process: br | greedy")
 	policy := fs.String("policy", "br", "distributed device policy: br | greedy")
+	scenario := fs.String("scenario", "",
+		"scenario for -mode scenario: "+strings.Join(familyUsages(), " | ")+
+			", or 'list' to print every family with its description")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -227,6 +302,7 @@ func parseFlags(args []string) (*config, error) {
 		in:       *in,
 		process:  *process,
 		policy:   *policy,
+		scenario: *scenario,
 	}, nil
 }
 
@@ -241,6 +317,17 @@ func parseTie(s string) (chanalloc.TieBreak, error) {
 	default:
 		return 0, fmt.Errorf("unknown tie break %q (want first, random or last)", s)
 	}
+}
+
+// familyUsages lists every registered scenario family's usage grammar —
+// each entry is a resolvable -scenario value (with parameters filled in).
+func familyUsages() []string {
+	fams := chanalloc.ScenarioFamilies()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.Usage
+	}
+	return out
 }
 
 // ParseRate parses a rate-function specification; see the package comment

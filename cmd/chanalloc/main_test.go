@@ -89,6 +89,55 @@ func TestRunDistributed(t *testing.T) {
 	}
 }
 
+func TestRunScenario(t *testing.T) {
+	// Pinned paper scenario: audited as-is (fig1 is deliberately not a NE).
+	var b strings.Builder
+	if err := run([]string{"-mode", "scenario", "-scenario", "fig1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "NE=false") {
+		t.Errorf("fig1 audit should report non-NE:\n%s", b.String())
+	}
+
+	// Generated scenario: the greedy allocation runs first.
+	b.Reset()
+	if err := run([]string{"-mode", "scenario", "-scenario", "cognitive:4,6,2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Best-response oracle: NE=true") {
+		t.Errorf("cognitive allocation should be a NE:\n%s", b.String())
+	}
+
+	// Heterogeneous-budget scenario.
+	b.Reset()
+	if err := run([]string{"-mode", "scenario", "-scenario", "hetero:5,3,2,1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Load-balanced") || !strings.Contains(out, "u1 (k=3)") {
+		t.Errorf("hetero audit incomplete:\n%s", out)
+	}
+
+	// The registry-driven listing names every family with usage text.
+	b.Reset()
+	if err := run([]string{"-mode", "scenario", "-scenario", "list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig4", "random:N,C,k[,seed]", "hetero:C,k1,k2,...", "mesh", "cognitive"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("scenario listing missing %q:\n%s", want, b.String())
+		}
+	}
+
+	// Errors: missing and unknown scenario names.
+	if err := run([]string{"-mode", "scenario"}, &b); err == nil {
+		t.Error("missing -scenario should error")
+	}
+	if err := run([]string{"-mode", "scenario", "-scenario", "nope"}, &b); err == nil {
+		t.Error("unknown scenario should error")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-mode", "nope"}, &b); err == nil {

@@ -11,9 +11,22 @@ import (
 	"github.com/multiradio/chanalloc/internal/textplot"
 )
 
+// expEnv carries the run-wide knobs into one experiment: where CSVs go,
+// the experiment's private root seed (derived from the -seed flag and the
+// experiment's fixed index, so it does not depend on which subset runs) and
+// the worker-pool size for the experiment's internal batch paths. All
+// randomness must flow from seed via per-job engine streams — that is what
+// makes `sweep -seed S` emit byte-identical tables and CSVs for every
+// -workers value.
+type expEnv struct {
+	csvDir  string
+	seed    uint64
+	workers int
+}
+
 // expLemmas (E1) reruns the paper's §3 walkthrough of Figure 1: every
 // violated rule plus the realised gain of the constructive deviation.
-func expLemmas(out io.Writer, csvDir string) error {
+func expLemmas(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E1: Figure 1 lemma walkthrough ==")
 	s, err := chanalloc.ScenarioFigure1(chanalloc.TDMA(1))
 	if err != nil {
@@ -36,13 +49,14 @@ func expLemmas(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e1_lemmas.csv", []string{"rule", "witness", "gain"}, rows)
+	return writeCSV(env.csvDir, "e1_lemmas.csv", []string{"rule", "witness", "gain"}, rows)
 }
 
 // expTheorem1 (E2) compares the Theorem 1 checker against the exact
 // best-response oracle on every allocation of a family of tiny games under
-// constant R. Agreement must be total.
-func expTheorem1(out io.Writer, csvDir string) error {
+// constant R. Agreement must be total. The exhaustive enumeration runs
+// sharded over the engine's worker pool.
+func expTheorem1(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E2: Theorem 1 characterisation vs exact oracle (constant R) ==")
 	configs := []struct{ n, c, k int }{
 		{2, 2, 2}, {2, 3, 2}, {2, 3, 3}, {3, 2, 2}, {3, 3, 2}, {4, 2, 2}, {2, 4, 2},
@@ -53,25 +67,22 @@ func expTheorem1(out io.Writer, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		profiles, neCount, mismatches := 0, 0, 0
-		nes, err := chanalloc.EnumerateNE(g, 10_000_000)
+		nes, err := chanalloc.EnumerateNEParallel(g, 10_000_000, env.workers)
 		if err != nil {
 			return err
 		}
-		neCount = len(nes)
-		// Count profiles and cross-check the theorem checker on every NE
-		// and on a sample of non-NE (the exhaustive test suite covers all;
-		// here we keep the runtime sweep-friendly by auditing NE only).
+		mismatches := 0
+		// Cross-check the theorem checker on every NE (the exhaustive test
+		// suite covers all profiles; here we keep the runtime sweep-friendly
+		// by auditing NE only).
 		for _, ne := range nes {
-			ok, _ := chanalloc.TheoremNE(g, ne)
-			if !ok {
+			if ok, _ := chanalloc.TheoremNE(g, ne); !ok {
 				mismatches++
 			}
-			profiles++
 		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%dx%dx%d", cfg.n, cfg.c, cfg.k),
-			fmt.Sprintf("%d", neCount),
+			fmt.Sprintf("%d", len(nes)),
 			fmt.Sprintf("%d", mismatches),
 		})
 	}
@@ -81,12 +92,13 @@ func expTheorem1(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e2_theorem1.csv", []string{"game", "ne_count", "mismatches"}, rows)
+	return writeCSV(env.csvDir, "e2_theorem1.csv", []string{"game", "ne_count", "mismatches"}, rows)
 }
 
 // expPareto (E3) verifies Theorem 2 on tiny games: every enumerated NE is
-// Pareto-optimal under constant R.
-func expPareto(out io.Writer, csvDir string) error {
+// Pareto-optimal under constant R. The per-NE domination searches fan out
+// over the engine.
+func expPareto(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E3: Theorem 2 — NE Pareto-optimality (constant R) ==")
 	configs := []struct{ n, c, k int }{
 		{2, 2, 1}, {2, 2, 2}, {2, 3, 2}, {3, 2, 2},
@@ -97,17 +109,20 @@ func expPareto(out io.Writer, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		nes, err := chanalloc.EnumerateNE(g, 10_000_000)
+		nes, err := chanalloc.EnumerateNEParallel(g, 10_000_000, env.workers)
+		if err != nil {
+			return err
+		}
+		domFlags, _, err := chanalloc.ParallelMap(len(nes), func(i int, _ *chanalloc.RNG) (bool, error) {
+			imp, err := chanalloc.FindParetoImprovement(g, nes[i], 1e-9, 10_000_000)
+			return imp != nil, err
+		}, chanalloc.EngineWorkers(env.workers))
 		if err != nil {
 			return err
 		}
 		dominated := 0
-		for _, ne := range nes {
-			imp, err := chanalloc.FindParetoImprovement(g, ne, 1e-9, 10_000_000)
-			if err != nil {
-				return err
-			}
-			if imp != nil {
+		for _, d := range domFlags {
+			if d {
 				dominated++
 			}
 		}
@@ -123,13 +138,14 @@ func expPareto(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e3_pareto.csv", []string{"game", "ne_count", "dominated"}, rows)
+	return writeCSV(env.csvDir, "e3_pareto.csv", []string{"game", "ne_count", "dominated"}, rows)
 }
 
 // expAlg1 (E4) sweeps Algorithm 1 across sizes and tie-breaks, verifying
 // the NE property and recording the welfare ratio against the all-placed
-// optimum (1.0 under constant R whenever |N|k > |C|).
-func expAlg1(out io.Writer, csvDir string) error {
+// optimum (1.0 under constant R whenever |N|k > |C|). The tie-break seeds
+// run as engine jobs.
+func expAlg1(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E4: Algorithm 1 NE property and welfare ratio ==")
 	rows := [][]string{}
 	for _, cfg := range []struct{ n, c, k int }{
@@ -143,18 +159,20 @@ func expAlg1(out io.Writer, csvDir string) error {
 			if err != nil {
 				return err
 			}
-			neOK := 0
 			const seeds = 20
-			for seed := uint64(0); seed < seeds; seed++ {
+			neFlags, _, err := chanalloc.ParallelMap(seeds, func(j int, rng *chanalloc.RNG) (bool, error) {
 				a, err := chanalloc.Algorithm1(g,
-					chanalloc.WithTieBreak(chanalloc.TieRandom), chanalloc.WithSeed(seed))
+					chanalloc.WithTieBreak(chanalloc.TieRandom), chanalloc.WithSeed(rng.Uint64()))
 				if err != nil {
-					return err
+					return false, err
 				}
-				ne, err := g.IsNashEquilibrium(a)
-				if err != nil {
-					return err
-				}
+				return g.IsNashEquilibrium(a)
+			}, chanalloc.EngineWorkers(env.workers), chanalloc.EngineSeed(env.seed))
+			if err != nil {
+				return err
+			}
+			neOK := 0
+			for _, ne := range neFlags {
 				if ne {
 					neOK++
 				}
@@ -181,37 +199,43 @@ func expAlg1(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e4_alg1.csv", []string{"game", "rate", "ne_runs", "welfare_ratio"}, rows)
+	return writeCSV(env.csvDir, "e4_alg1.csv", []string{"game", "rate", "ne_runs", "welfare_ratio"}, rows)
 }
 
 // expFairShare (E5) validates the paper's equal-share assumption: the
 // slot-level CSMA/CA simulator yields Jain index ≈ 1 across stations and
-// total throughput within a few percent of Bianchi's model.
-func expFairShare(out io.Writer, csvDir string) error {
+// total throughput within a few percent of Bianchi's model. One engine job
+// per population size; the simulation seeds stay pinned to the published
+// table.
+func expFairShare(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E5: CSMA/CA fair share and model agreement ==")
 	p := chanalloc.Bianchi1Mbps()
-	rows := [][]string{}
-	for _, n := range []int{1, 2, 4, 8, 16} {
+	populations := []int{1, 2, 4, 8, 16}
+	rows, _, err := chanalloc.ParallelMap(len(populations), func(i int, _ *chanalloc.RNG) ([]string, error) {
+		n := populations[i]
 		sim, err := chanalloc.SimulateCSMA(p, n, 150_000, uint64(100+n))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		model, err := chanalloc.SolveDCF(p, n)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		jain, err := stats.JainIndex(sim.PerStation)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		relErr := (sim.Throughput - model.Throughput) / model.Throughput
-		rows = append(rows, []string{
+		return []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.4f", sim.Throughput),
 			fmt.Sprintf("%.4f", model.Throughput),
 			fmt.Sprintf("%+.2f%%", 100*relErr),
 			fmt.Sprintf("%.5f", jain),
-		})
+		}, nil
+	}, chanalloc.EngineWorkers(env.workers))
+	if err != nil {
+		return err
 	}
 	table, err := textplot.Table(
 		[]string{"stations", "sim Mbit/s", "Bianchi Mbit/s", "rel err", "Jain index"}, rows)
@@ -220,31 +244,26 @@ func expFairShare(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e5_fairshare.csv",
+	return writeCSV(env.csvDir, "e5_fairshare.csv",
 		[]string{"n", "sim", "model", "rel_err", "jain"}, rows)
 }
 
 // expDynamics (E6) measures convergence of three decentralised processes
 // from random starts: sequential best response, radio-greedy moves, and
 // simultaneous best response with inertia 0.5 (full inertia oscillates).
-func expDynamics(out io.Writer, csvDir string) error {
+// Each (game, process) cell is a RunBatch over the engine.
+func expDynamics(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E6: dynamics convergence (sequential BR / radio-greedy / simultaneous p=0.5) ==")
-	type runner struct {
+	processes := []struct {
 		name string
-		run  func(*chanalloc.Game, *chanalloc.Alloc, uint64) (chanalloc.DynamicsResult, error)
-	}
-	runners := []runner{
-		{"seq-br", func(g *chanalloc.Game, a *chanalloc.Alloc, seed uint64) (chanalloc.DynamicsResult, error) {
-			return chanalloc.RunBestResponse(g, a, chanalloc.WithDynamicsSeed(seed))
-		}},
-		{"radio-greedy", func(g *chanalloc.Game, a *chanalloc.Alloc, seed uint64) (chanalloc.DynamicsResult, error) {
-			return chanalloc.RunRadioGreedy(g, a, chanalloc.WithDynamicsSeed(seed))
-		}},
-		{"simul-0.5", func(g *chanalloc.Game, a *chanalloc.Alloc, seed uint64) (chanalloc.DynamicsResult, error) {
-			return chanalloc.RunSimultaneous(g, a, 0.5, chanalloc.WithDynamicsSeed(seed))
-		}},
+		proc chanalloc.DynamicsProcess
+	}{
+		{"seq-br", chanalloc.BestResponseProcess},
+		{"radio-greedy", chanalloc.RadioGreedyProcess},
+		{"simul-0.5", chanalloc.SimultaneousProcess},
 	}
 	rows := [][]string{}
+	cell := 0
 	for _, cfg := range []struct{ n, c, k int }{
 		{4, 4, 2}, {8, 6, 3}, {16, 8, 4}, {32, 12, 6},
 	} {
@@ -252,27 +271,25 @@ func expDynamics(out io.Writer, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		for _, r := range runners {
-			var rounds, moves stats.Running
-			converged := 0
-			const seeds = 25
-			for seed := uint64(0); seed < seeds; seed++ {
-				res, err := r.run(g, chanalloc.RandomAlloc(g, seed), seed)
-				if err != nil {
-					return err
-				}
-				if res.Converged {
-					converged++
-				}
-				rounds.Add(float64(res.Rounds))
-				moves.Add(float64(res.Moves))
+		for _, p := range processes {
+			const replicates = 25
+			res, err := chanalloc.RunBatch(g, chanalloc.BatchSpec{
+				Process:    p.proc,
+				Inertia:    0.5,
+				Replicates: replicates,
+				Seed:       chanalloc.EngineJobSeed(env.seed, cell),
+				Workers:    env.workers,
+			})
+			if err != nil {
+				return err
 			}
+			cell++
 			rows = append(rows, []string{
 				fmt.Sprintf("%dx%dx%d", cfg.n, cfg.c, cfg.k),
-				r.name,
-				fmt.Sprintf("%d/%d", converged, seeds),
-				fmt.Sprintf("%.2f", rounds.Mean()),
-				fmt.Sprintf("%.2f", moves.Mean()),
+				p.name,
+				fmt.Sprintf("%d/%d", res.Converged, replicates),
+				fmt.Sprintf("%.2f", res.MeanRounds),
+				fmt.Sprintf("%.2f", res.MeanMoves),
 			})
 		}
 	}
@@ -283,13 +300,13 @@ func expDynamics(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e6_dynamics.csv", []string{"game", "process", "converged", "rounds", "moves"}, rows)
+	return writeCSV(env.csvDir, "e6_dynamics.csv", []string{"game", "process", "converged", "rounds", "moves"}, rows)
 }
 
 // expDist (E7) checks the distributed token ring: greedy devices reproduce
 // the centralised Algorithm 1 exactly; best-response devices converge to a
 // NE.
-func expDist(out io.Writer, csvDir string) error {
+func expDist(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E7: distributed protocol vs centralised Algorithm 1 ==")
 	rows := [][]string{}
 	for _, cfg := range []struct{ n, c, k int }{
@@ -333,7 +350,7 @@ func expDist(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e7_dist.csv",
+	return writeCSV(env.csvDir, "e7_dist.csv",
 		[]string{"game", "greedy_matches", "messages", "br_ne", "br_rounds"}, rows)
 }
 
@@ -341,7 +358,7 @@ func expDist(out io.Writer, csvDir string) error {
 // and reports whether the Figure 4 exception NE survives the exact oracle.
 // Theorem 1's conditions are rate-independent, so any "no" row is a
 // sufficiency gap for that decay rate.
-func expBoundary(out io.Writer, csvDir string) error {
+func expBoundary(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E8: decay boundary of Theorem 1 sufficiency (Figure 4 exception NE) ==")
 	rows := [][]string{}
 	for _, alpha := range []float64{0, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0} {
@@ -375,13 +392,13 @@ func expBoundary(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e8_boundary.csv",
+	return writeCSV(env.csvDir, "e8_boundary.csv",
 		[]string{"alpha", "theorem", "oracle", "gap", "deviation", "gain"}, rows)
 }
 
 // expPoA (E9) measures the welfare ratio of the load-balanced NE against
 // the all-placed and idle-allowed optima as the rate function decays.
-func expPoA(out io.Writer, csvDir string) error {
+func expPoA(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E9: price of anarchy of the balanced NE across rate decay ==")
 	rows := [][]string{}
 	g0 := struct{ n, c, k int }{7, 6, 4}
@@ -414,14 +431,15 @@ func expPoA(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e9_poa.csv",
+	return writeCSV(env.csvDir, "e9_poa.csv",
 		[]string{"alpha", "welfare", "all_opt", "all_ratio", "idle_opt", "idle_ratio"}, rows)
 }
 
 // expLiteral (E10) quantifies the paper-literal Algorithm 1 rule: across
 // random tie-break seeds, how often does the literal candidate set land off
-// equilibrium, versus the corrected rule.
-func expLiteral(out io.Writer, csvDir string) error {
+// equilibrium, versus the corrected rule. The seed batch fans out over the
+// engine.
+func expLiteral(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E10: paper-literal vs corrected Algorithm 1 placement rule ==")
 	rows := [][]string{}
 	const seeds = 200
@@ -432,33 +450,44 @@ func expLiteral(out io.Writer, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		literalFail, correctedFail := 0, 0
-		for seed := uint64(0); seed < seeds; seed++ {
+		type verdict struct{ literalFail, correctedFail bool }
+		verdicts, _, err := chanalloc.ParallelMap(seeds, func(j int, rng *chanalloc.RNG) (verdict, error) {
+			var v verdict
+			seed := rng.Uint64()
 			lit, err := chanalloc.Algorithm1(g,
 				chanalloc.WithTieBreak(chanalloc.TieRandom),
 				chanalloc.WithSeed(seed),
 				chanalloc.WithLiteralRule())
 			if err != nil {
-				return err
+				return v, err
 			}
 			ne, err := g.IsNashEquilibrium(lit)
 			if err != nil {
-				return err
+				return v, err
 			}
-			if !ne {
-				literalFail++
-			}
+			v.literalFail = !ne
 			cor, err := chanalloc.Algorithm1(g,
 				chanalloc.WithTieBreak(chanalloc.TieRandom),
 				chanalloc.WithSeed(seed))
 			if err != nil {
-				return err
+				return v, err
 			}
 			ne, err = g.IsNashEquilibrium(cor)
 			if err != nil {
-				return err
+				return v, err
 			}
-			if !ne {
+			v.correctedFail = !ne
+			return v, nil
+		}, chanalloc.EngineWorkers(env.workers), chanalloc.EngineSeed(env.seed))
+		if err != nil {
+			return err
+		}
+		literalFail, correctedFail := 0, 0
+		for _, v := range verdicts {
+			if v.literalFail {
+				literalFail++
+			}
+			if v.correctedFail {
 				correctedFail++
 			}
 		}
@@ -475,14 +504,14 @@ func expLiteral(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e10_literal.csv", []string{"game", "literal_fail", "corrected_fail"}, rows)
+	return writeCSV(env.csvDir, "e10_literal.csv", []string{"game", "literal_fail", "corrected_fail"}, rows)
 }
 
 // expHetero (E11) extends the model to heterogeneous radio budgets and
 // checks which of the paper's structural results survive: full deployment,
 // load balancing (δ <= 1) and the NE property of sequential greedy
-// allocation.
-func expHetero(out io.Writer, csvDir string) error {
+// allocation. The seed batch fans out over the engine.
+func expHetero(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E11: heterogeneous radio budgets (beyond the paper's uniform k) ==")
 	rows := [][]string{}
 	cases := []struct {
@@ -503,22 +532,30 @@ func expHetero(out io.Writer, csvDir string) error {
 			if err != nil {
 				return err
 			}
-			neOK := 0
 			const seeds = 20
-			balanced := true
-			for seed := uint64(0); seed < seeds; seed++ {
-				a, err := chanalloc.HeteroAlgorithm1(g, chanalloc.TieRandom, seed)
+			type verdict struct{ ne, balanced bool }
+			verdicts, _, err := chanalloc.ParallelMap(seeds, func(j int, rng *chanalloc.RNG) (verdict, error) {
+				var v verdict
+				a, err := chanalloc.HeteroAlgorithm1(g, chanalloc.TieRandom, rng.Uint64())
 				if err != nil {
-					return err
+					return v, err
 				}
-				ne, err := g.IsNashEquilibrium(a)
+				v.ne, err = g.IsNashEquilibrium(a)
 				if err != nil {
-					return err
+					return v, err
 				}
-				if ne {
+				v.balanced = chanalloc.LoadBalanced(a)
+				return v, nil
+			}, chanalloc.EngineWorkers(env.workers), chanalloc.EngineSeed(env.seed))
+			if err != nil {
+				return err
+			}
+			neOK, balanced := 0, true
+			for _, v := range verdicts {
+				if v.ne {
 					neOK++
 				}
-				if !chanalloc.LoadBalanced(a) {
+				if !v.balanced {
 					balanced = false
 				}
 			}
@@ -536,7 +573,7 @@ func expHetero(out io.Writer, csvDir string) error {
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(csvDir, "e11_hetero.csv", []string{"deployment", "rate", "ne_runs", "balanced"}, rows)
+	return writeCSV(env.csvDir, "e11_hetero.csv", []string{"deployment", "rate", "ne_runs", "balanced"}, rows)
 }
 
 // writeCSV writes rows to csvDir/name when csvDir is set.

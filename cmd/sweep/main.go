@@ -1,6 +1,6 @@
 // Command sweep runs the repository's experiment suite (EXPERIMENTS.md)
 // and prints the tables recorded there. Each experiment has an id matching
-// the DESIGN.md index:
+// the EXPERIMENTS.md index:
 //
 //	E1  lemmas    — Figure 1 walkthrough: lemma violations + profitable moves
 //	E2  theorem1  — Theorem 1 checker vs exact oracle, exhaustive tiny games
@@ -15,25 +15,37 @@
 //	E11 hetero    — heterogeneous radio budgets: NE properties beyond
 //	                the paper's uniform-k assumption
 //
-//	sweep -exp all            # run everything (few minutes)
-//	sweep -exp boundary       # one experiment
-//	sweep -exp all -out data/ # also write CSVs
+// The suite executes on the parallel experiment engine: experiments run as
+// jobs over a -workers-sized pool, and their internal batch paths (seed
+// sweeps, NE enumeration, dynamics replicates) each fan out over their own
+// pool of the same size — nested fan-out, so peak concurrency can exceed
+// -workers. All randomness derives from -seed through per-job PRNG
+// streams, so output — stdout and CSVs — is byte-identical for any
+// -workers value.
+//
+//	sweep -exp all                    # run everything (few minutes)
+//	sweep -exp boundary               # one experiment
+//	sweep -exp all -out data/         # also write CSVs
+//	sweep -exp all -seed 7 -workers 4 # reproducible, 4 workers
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+
+	"github.com/multiradio/chanalloc"
 )
 
-// experiment names in execution order.
+// experiment names in execution (and output) order.
 var experimentOrder = []string{
 	"lemmas", "theorem1", "pareto", "alg1", "fairshare",
 	"dynamics", "dist", "boundary", "poa", "literal", "hetero",
 }
 
-var experiments = map[string]func(io.Writer, string) error{
+var experiments = map[string]func(io.Writer, expEnv) error{
 	"lemmas":    expLemmas,
 	"theorem1":  expTheorem1,
 	"pareto":    expPareto,
@@ -47,6 +59,18 @@ var experiments = map[string]func(io.Writer, string) error{
 	"hetero":    expHetero,
 }
 
+// experimentIndex returns an experiment's fixed position in
+// experimentOrder. Per-experiment seeds derive from this index, so the
+// stream an experiment sees does not depend on which subset runs.
+func experimentIndex(name string) int {
+	for i, n := range experimentOrder {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -58,6 +82,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment to run (see package doc) or all")
 	csvDir := fs.String("out", "", "directory for CSV output (omit to skip)")
+	seed := fs.Uint64("seed", 0, "root seed for every randomised experiment")
+	workers := fs.Int("workers", 0, "worker-pool size (<= 0 means NumCPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,17 +92,46 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("creating output dir: %w", err)
 		}
 	}
-	if *exp == "all" {
-		for _, name := range experimentOrder {
-			if err := experiments[name](out, *csvDir); err != nil {
-				return fmt.Errorf("experiment %s: %w", name, err)
-			}
+	names := experimentOrder
+	if *exp != "all" {
+		if _, ok := experiments[*exp]; !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
 		}
-		return nil
+		names = []string{*exp}
 	}
-	fn, ok := experiments[*exp]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q", *exp)
+
+	// Experiments are themselves engine jobs: each writes into its own
+	// buffer, the buffers print in suite order. A failing experiment does
+	// not discard the others' completed output — everything before it in
+	// the suite still prints, then its error surfaces with the name
+	// attached.
+	type expResult struct {
+		buf bytes.Buffer
+		err error
 	}
-	return fn(out, *csvDir)
+	results, _, err := chanalloc.ParallelMap(len(names), func(i int, _ *chanalloc.RNG) (*expResult, error) {
+		name := names[i]
+		env := expEnv{
+			csvDir:  *csvDir,
+			seed:    chanalloc.EngineJobSeed(*seed, experimentIndex(name)),
+			workers: *workers,
+		}
+		var res expResult
+		if err := experiments[name](&res.buf, env); err != nil {
+			res.err = fmt.Errorf("experiment %s: %w", name, err)
+		}
+		return &res, nil
+	}, chanalloc.EngineWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if res.err != nil {
+			return res.err
+		}
+		if _, err := io.Copy(out, &res.buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -118,6 +120,75 @@ func TestFairShareAgreesWithModel(t *testing.T) {
 				t.Fatalf("fair share violated: %q", line)
 			}
 		}
+	}
+}
+
+// sweepRun executes one sweep invocation and returns its stdout plus the
+// byte content of every CSV it wrote.
+func sweepRun(t *testing.T, exp string, seed uint64, workers int) (string, map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	var b strings.Builder
+	err := run([]string{
+		"-exp", exp,
+		"-seed", fmt.Sprint(seed),
+		"-workers", fmt.Sprint(workers),
+		"-out", dir,
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvs := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvs[e.Name()] = string(data)
+	}
+	return b.String(), csvs
+}
+
+// TestWorkersDoNotChangeOutput is the engine determinism contract at the
+// CLI surface: same -seed, any -workers => byte-identical stdout and CSVs.
+// It covers every randomised, engine-sharded experiment (the deterministic
+// ones trivially satisfy it).
+func TestWorkersDoNotChangeOutput(t *testing.T) {
+	for _, exp := range []string{"theorem1", "alg1", "dynamics", "literal", "hetero"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			const seed = 7
+			baseOut, baseCSVs := sweepRun(t, exp, seed, 1)
+			for _, workers := range []int{4, runtime.NumCPU()} {
+				gotOut, gotCSVs := sweepRun(t, exp, seed, workers)
+				if gotOut != baseOut {
+					t.Fatalf("workers=%d changed stdout:\n--- workers=1\n%s\n--- workers=%d\n%s",
+						workers, baseOut, workers, gotOut)
+				}
+				if len(gotCSVs) != len(baseCSVs) || len(baseCSVs) == 0 {
+					t.Fatalf("workers=%d wrote %d CSVs, want %d", workers, len(gotCSVs), len(baseCSVs))
+				}
+				for name, want := range baseCSVs {
+					if gotCSVs[name] != want {
+						t.Fatalf("workers=%d changed %s", workers, name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSeedChangesRandomisedOutput guards against the seed being ignored:
+// different roots must shuffle the randomised experiments' streams.
+func TestSeedChangesRandomisedOutput(t *testing.T) {
+	a, _ := sweepRun(t, "dynamics", 1, 1)
+	b, _ := sweepRun(t, "dynamics", 2, 1)
+	if a == b {
+		t.Fatal("dynamics output identical across different -seed values")
 	}
 }
 

@@ -12,6 +12,20 @@ type (
 	DynamicsOption = dynamics.Option
 	// Schedule orders users within a dynamics round.
 	Schedule = dynamics.Schedule
+	// DynamicsProcess selects the convergence process a batch replicates.
+	DynamicsProcess = dynamics.Process
+	// BatchSpec describes a batch of dynamics replicates run over the
+	// parallel engine.
+	BatchSpec = dynamics.BatchSpec
+	// BatchResult aggregates a batch of dynamics runs.
+	BatchResult = dynamics.BatchResult
+)
+
+// Batchable dynamics processes.
+const (
+	BestResponseProcess = dynamics.BestResponseProcess
+	RadioGreedyProcess  = dynamics.RadioGreedyProcess
+	SimultaneousProcess = dynamics.SimultaneousProcess
 )
 
 // Sweep schedules.
@@ -38,6 +52,14 @@ func RunRadioGreedy(g *Game, start *Alloc, opts ...DynamicsOption) (DynamicsResu
 // inertia < 1 the process converges almost surely.
 func RunSimultaneous(g *Game, start *Alloc, inertia float64, opts ...DynamicsOption) (DynamicsResult, error) {
 	return dynamics.RunSimultaneous(g, start, inertia, opts...)
+}
+
+// RunBatch fans a batch of independent dynamics replicates out over the
+// parallel engine: replicate r starts from a seeded random allocation
+// drawn from a stream derived only from spec.Seed and r, so the aggregate
+// is reproducible and worker-count independent.
+func RunBatch(g *Game, spec BatchSpec) (*BatchResult, error) {
+	return dynamics.RunBatch(g, spec)
 }
 
 // Potential evaluates the congestion potential Φ(S) = Σ_c Σ_{j<=k_c} R(j)/j.

@@ -1,0 +1,53 @@
+package chanalloc
+
+import (
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/engine"
+)
+
+// Parallel experiment engine, re-exported. The engine is a deterministic
+// worker pool: jobs fan out over runtime.NumCPU() workers (or an explicit
+// pool size), every job draws randomness from a private PRNG stream derived
+// from the root seed and the job index alone, and results fan in ordered by
+// job — so a batch is byte-identical no matter how many workers ran it.
+type (
+	// EngineStats reports how a batch executed (pool size, wall time,
+	// per-job timings).
+	EngineStats = engine.Stats
+	// EngineOption configures ParallelMap / ParallelForEach.
+	EngineOption = engine.Option
+	// RNG is the explicit-seed SplitMix64 generator handed to engine jobs.
+	RNG = des.RNG
+)
+
+// EngineWorkers fixes the worker-pool size; n < 1 (and the default) means
+// runtime.NumCPU().
+func EngineWorkers(n int) EngineOption { return engine.Workers(n) }
+
+// EngineSeed sets the root seed that every per-job PRNG stream derives
+// from.
+func EngineSeed(seed uint64) EngineOption { return engine.Seed(seed) }
+
+// EngineJobSeed derives the PRNG stream seed of one job from a root seed;
+// it depends only on (root, job), never on scheduling.
+func EngineJobSeed(root uint64, job int) uint64 { return engine.JobSeed(root, job) }
+
+// ParallelMap runs jobs 0..n-1 over the engine's worker pool and returns
+// their results in job order.
+func ParallelMap[T any](n int, fn func(job int, rng *RNG) (T, error), opts ...EngineOption) ([]T, EngineStats, error) {
+	return engine.Map(n, fn, opts...)
+}
+
+// ParallelForEach is ParallelMap for jobs that produce no value.
+func ParallelForEach(n int, fn func(job int, rng *RNG) error, opts ...EngineOption) (EngineStats, error) {
+	return engine.ForEach(n, fn, opts...)
+}
+
+// EnumerateNEParallel is EnumerateNE sharded over the worker pool by the
+// first user's strategy row; the result is identical to the serial
+// enumeration, equilibrium for equilibrium, for every worker count
+// (workers < 1 means runtime.NumCPU()).
+func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, error) {
+	return core.EnumerateNEParallel(g, maxProfiles, workers)
+}

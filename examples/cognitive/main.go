@@ -40,10 +40,14 @@ func main() {
 		"users", "max-min load", "total Mbit/s", "per-user", "NE?")
 
 	for n := 1; n <= maxUsers; n++ {
-		g, err := chanalloc.NewGame(n, channels, radiosPerUser, rate)
+		// The cognitive workload is a registry family parameterised by the
+		// current population size.
+		s, err := chanalloc.ScenarioByName(
+			fmt.Sprintf("cognitive:%d,%d,%d", n, channels, radiosPerUser), rate)
 		if err != nil {
 			log.Fatal(err)
 		}
+		g := s.Game
 		// Re-allocation after an arrival: run the sequential protocol with
 		// the newcomers included. (A real deployment would run the
 		// distributed token protocol; see examples/distributed.)
@@ -69,12 +73,13 @@ func main() {
 	fmt.Println("  - total rate declines gently because practical CSMA/CA decays with k,")
 	fmt.Println("    while per-user rate falls as newcomers share the band.")
 
-	// Show the final occupancy.
-	g, err := chanalloc.NewGame(maxUsers, channels, radiosPerUser, rate)
+	// Show the final occupancy (same parameters as the last arrival row).
+	s, err := chanalloc.ScenarioByName(
+		fmt.Sprintf("cognitive:%d,%d,%d", maxUsers, channels, radiosPerUser), rate)
 	if err != nil {
 		log.Fatal(err)
 	}
-	alloc, err := chanalloc.Algorithm1(g)
+	alloc, err := chanalloc.Algorithm1(s.Game)
 	if err != nil {
 		log.Fatal(err)
 	}

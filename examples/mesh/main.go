@@ -21,34 +21,24 @@ import (
 	"github.com/multiradio/chanalloc/internal/stats"
 )
 
-const (
-	routers    = 9
-	channels   = 6
-	radios     = 3
-	channelMbs = 54.0
-)
+const channelMbs = 54.0
 
 func main() {
 	log.SetFlags(0)
 
-	g, err := chanalloc.NewGame(routers, channels, radios, chanalloc.TDMA(channelMbs))
+	// The mesh workload lives in the scenario registry; it pins the naive
+	// static assignment (every router on the first k channels) as its start.
+	s, err := chanalloc.ScenarioByName("mesh", chanalloc.TDMA(channelMbs))
 	if err != nil {
 		log.Fatal(err)
 	}
+	g, naive := s.Game, s.Alloc
 
 	fmt.Printf("Mesh backhaul: %d routers, %d radios each, %d channels of %.0f Mbit/s.\n\n",
-		routers, radios, channels, channelMbs)
+		g.Users(), g.Radios(), g.Channels(), channelMbs)
 	fmt.Printf("%-28s  %12s  %10s  %8s\n", "assignment", "total Mbit/s", "Jain index", "stable?")
 
 	// 1. Naive static: every router uses channels 1..k.
-	naive := g.NewEmptyAlloc()
-	for i := 0; i < routers; i++ {
-		for c := 0; c < radios; c++ {
-			if err := naive.Add(i, c, 1); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
 	report(g, "naive static (first k)", naive)
 
 	// 2. Selfish dynamics from a random cold start.

@@ -1,0 +1,3 @@
+module github.com/multiradio/chanalloc
+
+go 1.24

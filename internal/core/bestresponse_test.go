@@ -306,6 +306,10 @@ func TestTheorem1EquivalenceConstantRate(t *testing.T) {
 		{4, 2, 2},
 		{2, 4, 2},
 		{1, 3, 2},
+		// 4x3x2 hosts the exception-user spare-move gap (a user owning both
+		// radios of a load-2 minimum channel); see exceptionSpareMove.
+		{4, 3, 2},
+		{3, 3, 3},
 	}
 	for _, cfg := range configs {
 		g := mustGame(t, cfg.users, cfg.channels, cfg.radios, ratefn.NewTDMA(1))

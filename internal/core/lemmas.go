@@ -162,6 +162,14 @@ func CheckAllLemmas(g *Game, a *Alloc) []*Violation {
 // single-radio moves; use IsNashEquilibrium (the best-response oracle) as
 // ground truth and this checker as the paper's characterisation. Experiment
 // E8 quantifies where the two diverge.
+//
+// One condition is added beyond the paper's statement: an exception user's
+// doubled C_min channel must not admit a profitable spare-radio move at
+// constant R (see exceptionSpareMove). Without it the paper's structural
+// conditions wrongly accept small-d_min allocations — e.g. a user owning
+// both radios of a load-2 minimum channel can always pull one off for
+// free. Like the paper's own conditions, the check depends only on the
+// load profile, not on the rate function.
 func TheoremNE(g *Game, a *Alloc) (bool, *Violation) {
 	if err := g.CheckAlloc(a); err != nil {
 		return false, &Violation{Rule: "invalid", User: -1, ChannelB: -1, ChannelC: -1, Detail: err.Error()}
@@ -244,8 +252,52 @@ func TheoremNE(g *Game, a *Alloc) (bool, *Violation) {
 				}
 			}
 		}
+		// The doubled C_min channel must not admit a profitable spare-radio
+		// move (evaluated at constant R, the theorem's exactness regime).
+		// With small minimum loads the doubled channel is mostly the
+		// exception user's own — e.g. at d_min = 2 both radios are his, so
+		// pulling one off keeps the channel's full rate and earns elsewhere
+		// for free. The structural conditions above miss this; the paper's
+		// Figure 4 sits exactly on the boundary (d_min = 4, gain 0).
+		if v := exceptionSpareMove(a, i); v != nil {
+			return false, v
+		}
 	}
 	return true, nil
+}
+
+// exceptionSpareMove checks every single-radio move off an exception
+// user's doubled channel under constant R: moving one of own >= 2 radios
+// from channel b to channel c changes the user's utility by
+//
+//	(own-1)/(d_b-1) - own/d_b + (m_c+1)/(d_c+1) - m_c/d_c
+//
+// (in units of R). A strictly positive change is a deviation, so the
+// allocation is not a NE. The test depends only on loads and own radio
+// counts, keeping the checker's conditions rate-independent.
+func exceptionSpareMove(a *Alloc, i int) *Violation {
+	for b := 0; b < a.Channels(); b++ {
+		own := a.Radios(i, b)
+		if own < 2 {
+			continue
+		}
+		lossB := float64(own-1)/float64(a.Load(b)-1) - float64(own)/float64(a.Load(b))
+		for c := 0; c < a.Channels(); c++ {
+			if c == b {
+				continue
+			}
+			m, e := a.Radios(i, c), a.Load(c)
+			gain := lossB + float64(m+1)/float64(e+1) - float64(m)/float64(e)
+			if gain > DefaultEps {
+				return &Violation{
+					Rule: "thm1-cond2", User: i, ChannelB: b, ChannelC: c,
+					Detail: fmt.Sprintf(
+						"exception user gains %+.4f·R moving a spare radio c%d -> c%d", gain, b+1, c+1),
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // hasEmptyMinChannel reports whether user i has no radio on at least one

@@ -241,6 +241,52 @@ func TestTheoremNEExceptionUserIdentified(t *testing.T) {
 	}
 }
 
+func TestTheoremNERejectsProfitableSpareMove(t *testing.T) {
+	// Regression for a sufficiency gap in the paper's structural
+	// conditions: u4 owns both radios of the load-2 minimum channel c2, so
+	// it passes the exception clause (no empty C_min channel, nothing
+	// doubled on C_max) — yet moving one radio to c3 keeps c2's full rate
+	// and earns 1/4 extra. The checker must agree with the exact oracle.
+	g := mustGame(t, 4, 3, 2, ratefn.NewTDMA(1))
+	a := mustAlloc(t, [][]int{
+		{1, 0, 1},
+		{1, 0, 1},
+		{1, 0, 1},
+		{0, 2, 0},
+	})
+	ok, v := TheoremNE(g, a)
+	if ok {
+		t.Fatal("exception user with a profitable spare move accepted as NE")
+	}
+	if v == nil || v.Rule != "thm1-cond2" {
+		t.Fatalf("violation = %v, want thm1-cond2", v)
+	}
+	ne, err := g.IsNashEquilibrium(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne {
+		t.Fatal("oracle disagrees: it should reject this allocation too")
+	}
+
+	// d_min = 3 sits just inside the gap as well (u5 doubled on c4, loads
+	// 4,4,4,3): 1/2 + 1/5 > 2/3.
+	g3 := mustGame(t, 5, 4, 3, ratefn.NewTDMA(1))
+	a3 := mustAlloc(t, [][]int{
+		{1, 1, 1, 0},
+		{1, 1, 1, 0},
+		{1, 1, 1, 0},
+		{0, 1, 1, 1},
+		{1, 0, 0, 2},
+	})
+	if ok, _ := TheoremNE(g3, a3); ok {
+		t.Fatal("d_min=3 spare-move deviation accepted as NE")
+	}
+	if ne, err := g3.IsNashEquilibrium(a3); err != nil || ne {
+		t.Fatalf("oracle should also reject (ne=%v err=%v)", ne, err)
+	}
+}
+
 func TestTheoremNERejectsConcentratedUser(t *testing.T) {
 	// Balanced loads (4,3,3,3,3) but u1 piles three radios on c2 while
 	// leaving minimum-load channels untouched: condition 2 must reject it,

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/multiradio/chanalloc/internal/combin"
+	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/engine"
+)
+
+// EnumerateNEParallel is EnumerateNE sharded over the engine's worker
+// pool: the profile space is partitioned by the first user's strategy row
+// (the outermost odometer digit of the serial enumeration), each shard is
+// searched independently, and the shard results are concatenated in row
+// order — so the output is identical, equilibrium for equilibrium, to the
+// serial EnumerateNE regardless of worker count. workers < 1 means
+// runtime.NumCPU().
+func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, error) {
+	rows, err := strategyRows(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkProfileCap(g.Users(), int64(len(rows)), maxProfiles); err != nil {
+		return nil, err
+	}
+
+	shards, _, err := engine.Map(len(rows), func(job int, _ *des.RNG) ([]*Alloc, error) {
+		a := g.NewEmptyAlloc()
+		if err := a.SetRow(0, rows[job]); err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", job, err)
+		}
+		// One profile when the game has a single user; otherwise the full
+		// product over users 1..N-1 with user 0 pinned to this shard's row.
+		rest := make([]int, g.Users()-1)
+		for i := range rest {
+			rest[i] = len(rows)
+		}
+		var out []*Alloc
+		var innerErr error
+		err := forEachRest(a, rows, rest, func(b *Alloc) bool {
+			ok, err := g.IsNashEquilibrium(b)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if ok {
+				out = append(out, b.Clone())
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if innerErr != nil {
+			return nil, innerErr
+		}
+		return out, nil
+	}, engine.Workers(workers))
+	if err != nil {
+		return nil, err
+	}
+
+	var all []*Alloc
+	for _, shard := range shards {
+		all = append(all, shard...)
+	}
+	return all, nil
+}
+
+// forEachRest walks the cartesian product of strategy rows for users
+// 1..N-1 on top of a (user 0's row already set), calling fn with the
+// reused allocation. Matches the serial ForEachAlloc iteration order for a
+// fixed outermost digit.
+func forEachRest(a *Alloc, rows [][]int, sizes []int, fn func(*Alloc) bool) error {
+	return combin.Product(sizes, func(idx []int) bool {
+		for u, ri := range idx {
+			if err := a.SetRow(u+1, rows[ri]); err != nil {
+				// rows are pre-validated; this cannot fail.
+				return false
+			}
+		}
+		return fn(a)
+	})
+}

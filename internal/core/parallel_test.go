@@ -1,0 +1,52 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+// TestEnumerateNEParallelMatchesSerial is the sharding contract: identical
+// NE list — same equilibria, same order — for every worker count.
+func TestEnumerateNEParallelMatchesSerial(t *testing.T) {
+	for _, cfg := range []struct{ n, c, k int }{
+		{1, 3, 2}, {2, 2, 2}, {2, 3, 2}, {3, 2, 2}, {3, 3, 2},
+	} {
+		g, err := NewGame(cfg.n, cfg.c, cfg.k, ratefn.NewTDMA(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := EnumerateNE(g, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, runtime.NumCPU()} {
+			parallel, err := EnumerateNEParallel(g, 10_000_000, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parallel) != len(serial) {
+				t.Fatalf("%dx%dx%d workers=%d: %d NE, serial found %d",
+					cfg.n, cfg.c, cfg.k, workers, len(parallel), len(serial))
+			}
+			for i := range serial {
+				if !serial[i].Equal(parallel[i]) {
+					t.Fatalf("%dx%dx%d workers=%d: NE %d differs from serial",
+						cfg.n, cfg.c, cfg.k, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateNEParallelHonoursCap keeps the exhaustive-search guard.
+func TestEnumerateNEParallelHonoursCap(t *testing.T) {
+	g, err := NewGame(4, 4, 3, ratefn.NewTDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnumerateNEParallel(g, 100, 2); err == nil {
+		t.Fatal("profile cap not enforced")
+	}
+}

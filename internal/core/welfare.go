@@ -106,22 +106,23 @@ func enumerateRows(g *Game, fn func([]int) bool) error {
 	return nil
 }
 
-// ForEachAlloc enumerates every legal strategy matrix of the game (all
-// users, all budgets up to k) and calls fn with a reused Alloc. Returning
-// false stops the enumeration. This is exponential — it exists for the
-// exhaustive oracles on tiny instances (experiment E2) and refuses to run
-// when the strategy space exceeds maxProfiles.
-func ForEachAlloc(g *Game, maxProfiles int64, fn func(*Alloc) bool) error {
+// strategyRows materialises every legal strategy row of one user (all
+// radio vectors with total between 0 and k).
+func strategyRows(g *Game) ([][]int, error) {
 	rows := make([][]int, 0, 64)
 	if err := enumerateRows(g, func(row []int) bool {
 		rows = append(rows, append([]int(nil), row...))
 		return true
 	}); err != nil {
-		return err
+		return nil, err
 	}
-	perUser := int64(len(rows))
+	return rows, nil
+}
+
+// checkProfileCap verifies perUser^users stays within maxProfiles.
+func checkProfileCap(users int, perUser, maxProfiles int64) error {
 	totalProfiles := int64(1)
-	for i := 0; i < g.Users(); i++ {
+	for i := 0; i < users; i++ {
 		if totalProfiles > maxProfiles/perUser+1 {
 			return fmt.Errorf("core: strategy space too large (> %d profiles)", maxProfiles)
 		}
@@ -129,6 +130,22 @@ func ForEachAlloc(g *Game, maxProfiles int64, fn func(*Alloc) bool) error {
 	}
 	if totalProfiles > maxProfiles {
 		return fmt.Errorf("core: strategy space has %d profiles, cap is %d", totalProfiles, maxProfiles)
+	}
+	return nil
+}
+
+// ForEachAlloc enumerates every legal strategy matrix of the game (all
+// users, all budgets up to k) and calls fn with a reused Alloc. Returning
+// false stops the enumeration. This is exponential — it exists for the
+// exhaustive oracles on tiny instances (experiment E2) and refuses to run
+// when the strategy space exceeds maxProfiles.
+func ForEachAlloc(g *Game, maxProfiles int64, fn func(*Alloc) bool) error {
+	rows, err := strategyRows(g)
+	if err != nil {
+		return err
+	}
+	if err := checkProfileCap(g.Users(), int64(len(rows)), maxProfiles); err != nil {
+		return err
 	}
 
 	a := g.NewEmptyAlloc()

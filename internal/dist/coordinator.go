@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/multiradio/chanalloc/internal/core"
+)
+
+// Stats summarises a protocol run.
+type Stats struct {
+	// Converged is true when a full token round passed with no device
+	// changing its row (rather than the round cap striking).
+	Converged bool
+	// Rounds counts executed token rounds, including the final quiet one.
+	Rounds int
+	// Moves counts accepted row changes across the run.
+	Moves int
+	// Messages counts protocol frames in both directions.
+	Messages int
+}
+
+// Coordinator sequences the distributed token ring for one game.
+type Coordinator struct {
+	g         *core.Game
+	maxRounds int
+	timeout   time.Duration
+}
+
+// CoordinatorOption configures a Coordinator.
+type CoordinatorOption func(*Coordinator)
+
+// WithMaxRounds caps token-ring sweeps (default 100).
+func WithMaxRounds(n int) CoordinatorOption {
+	return func(c *Coordinator) { c.maxRounds = n }
+}
+
+// WithTimeout bounds each protocol message wait (default 10s; <= 0 waits
+// forever).
+func WithTimeout(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.timeout = d }
+}
+
+// NewCoordinator builds a protocol coordinator for g.
+func NewCoordinator(g *core.Game, opts ...CoordinatorOption) (*Coordinator, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dist: nil game")
+	}
+	co := &Coordinator{g: g, maxRounds: 100, timeout: 10 * time.Second}
+	for _, opt := range opts {
+		opt(co)
+	}
+	if co.maxRounds < 1 {
+		return nil, fmt.Errorf("dist: maxRounds = %d, want >= 1", co.maxRounds)
+	}
+	return co, nil
+}
+
+// Run drives the protocol over one connection per user (conns[i] talks to
+// user i's agent) and returns the agreed allocation.
+func (co *Coordinator) Run(conns []net.Conn) (*core.Alloc, Stats, error) {
+	var stats Stats
+	if len(conns) != co.g.Users() {
+		return nil, stats, fmt.Errorf("dist: %d connections for %d users", len(conns), co.g.Users())
+	}
+	peers := make([]*peer, len(conns))
+	for i, conn := range conns {
+		if conn == nil {
+			return nil, stats, fmt.Errorf("dist: nil connection for user %d", i)
+		}
+		peers[i] = newPeer(conn, co.timeout)
+	}
+	for i, p := range peers {
+		err := p.send(&message{
+			Type:     msgHello,
+			User:     i,
+			Channels: co.g.Channels(),
+			Radios:   co.g.Radios(),
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Messages++
+	}
+
+	a := co.g.NewEmptyAlloc()
+	for round := 0; round < co.maxRounds; round++ {
+		changed := false
+		for i, p := range peers {
+			current := a.Row(i)
+			ext := a.Loads()
+			for c, own := range current {
+				ext[c] -= own
+			}
+			if err := p.send(&message{Type: msgToken, Loads: ext, Row: current}); err != nil {
+				return nil, stats, err
+			}
+			stats.Messages++
+			reply, err := p.recv(msgRow)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Messages++
+			if err := co.checkRow(reply.Row); err != nil {
+				return nil, stats, fmt.Errorf("dist: user %d: %w", i, err)
+			}
+			if !equalRows(reply.Row, current) {
+				if err := a.SetRow(i, reply.Row); err != nil {
+					return nil, stats, fmt.Errorf("dist: applying row for user %d: %w", i, err)
+				}
+				stats.Moves++
+				changed = true
+			}
+		}
+		stats.Rounds++
+		if !changed {
+			stats.Converged = true
+			break
+		}
+	}
+
+	ne, err := co.g.IsNashEquilibrium(a)
+	if err != nil {
+		return nil, stats, err
+	}
+	done := &message{
+		Type:      msgDone,
+		Matrix:    a.Matrix(),
+		NE:        ne,
+		Converged: stats.Converged,
+		Rounds:    stats.Rounds,
+		Moves:     stats.Moves,
+	}
+	for _, p := range peers {
+		if err := p.send(done); err != nil {
+			return nil, stats, err
+		}
+		stats.Messages++
+	}
+	for i, p := range peers {
+		if _, err := p.recv(msgAck); err != nil {
+			return nil, stats, fmt.Errorf("dist: user %d: %w", i, err)
+		}
+		stats.Messages++
+	}
+	return a, stats, nil
+}
+
+// checkRow validates a device's proposal against the game's dimensions and
+// radio budget.
+func (co *Coordinator) checkRow(row []int) error {
+	if len(row) != co.g.Channels() {
+		return fmt.Errorf("row has %d channels, want %d", len(row), co.g.Channels())
+	}
+	total := 0
+	for c, v := range row {
+		if v < 0 {
+			return fmt.Errorf("negative radio count %d on channel %d", v, c)
+		}
+		total += v
+	}
+	if total > co.g.Radios() {
+		return fmt.Errorf("row places %d radios, budget is %d", total, co.g.Radios())
+	}
+	return nil
+}
+
+func equalRows(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Message kinds of the wire protocol. Every frame is one JSON object on one
+// line; unknown fields are ignored so the protocol can grow.
+const (
+	msgHello = "hello" // coordinator -> agent: game parameters + identity
+	msgToken = "token" // coordinator -> agent: external loads + current row
+	msgRow   = "row"   // agent -> coordinator: the row the device plays
+	msgDone  = "done"  // coordinator -> agent: final matrix + verdicts
+	msgAck   = "ack"   // agent -> coordinator: final acknowledgement
+)
+
+// message is the single frame type of the protocol; fields are populated
+// according to Type.
+type message struct {
+	Type string `json:"type"`
+	// hello
+	User     int `json:"user,omitempty"`
+	Channels int `json:"channels,omitempty"`
+	Radios   int `json:"radios,omitempty"`
+	// token
+	Loads []int `json:"loads,omitempty"`
+	// token (current) and row (proposal)
+	Row []int `json:"row,omitempty"`
+	// done
+	Matrix    [][]int `json:"matrix,omitempty"`
+	NE        bool    `json:"ne,omitempty"`
+	Converged bool    `json:"converged,omitempty"`
+	Rounds    int     `json:"rounds,omitempty"`
+	Moves     int     `json:"moves,omitempty"`
+}
+
+// peer wraps one conn with JSON framing and a per-message deadline.
+type peer struct {
+	conn    net.Conn
+	enc     *json.Encoder
+	dec     *json.Decoder
+	timeout time.Duration
+}
+
+func newPeer(conn net.Conn, timeout time.Duration) *peer {
+	return &peer{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		dec:     json.NewDecoder(conn),
+		timeout: timeout,
+	}
+}
+
+func (p *peer) send(m *message) error {
+	if p.timeout > 0 {
+		if err := p.conn.SetWriteDeadline(time.Now().Add(p.timeout)); err != nil {
+			return fmt.Errorf("dist: setting write deadline: %w", err)
+		}
+	}
+	if err := p.enc.Encode(m); err != nil {
+		return fmt.Errorf("dist: sending %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+func (p *peer) recv(wantType string) (*message, error) {
+	if p.timeout > 0 {
+		if err := p.conn.SetReadDeadline(time.Now().Add(p.timeout)); err != nil {
+			return nil, fmt.Errorf("dist: setting read deadline: %w", err)
+		}
+	}
+	var m message
+	if err := p.dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("dist: awaiting %s: %w", wantType, err)
+	}
+	if m.Type != wantType {
+		return nil, fmt.Errorf("dist: got %q, want %q", m.Type, wantType)
+	}
+	return &m, nil
+}

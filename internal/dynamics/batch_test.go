@@ -1,0 +1,90 @@
+package dynamics
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+func batchGame(t *testing.T) *core.Game {
+	t.Helper()
+	g, err := core.NewGame(8, 6, 3, ratefn.NewTDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRunBatchDeterministicAcrossWorkers: per-replicate seeds come from the
+// root seed and replicate index only, so the batch must not change with the
+// pool size.
+func TestRunBatchDeterministicAcrossWorkers(t *testing.T) {
+	g := batchGame(t)
+	for _, proc := range []Process{BestResponseProcess, RadioGreedyProcess, SimultaneousProcess} {
+		spec := BatchSpec{Process: proc, Inertia: 0.5, Replicates: 16, Seed: 11, Workers: 1}
+		base, err := RunBatch(g, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{4, runtime.NumCPU()} {
+			spec.Workers = workers
+			got, err := RunBatch(g, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Converged != base.Converged ||
+				got.MeanRounds != base.MeanRounds || got.MeanMoves != base.MeanMoves {
+				t.Fatalf("%s workers=%d: aggregate drifted", proc, workers)
+			}
+			for r := range base.Runs {
+				if !base.Runs[r].Final.Equal(got.Runs[r].Final) {
+					t.Fatalf("%s workers=%d: replicate %d final state differs", proc, workers, r)
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchConvergesToNE: every converged best-response replicate ends
+// at a Nash equilibrium.
+func TestRunBatchConvergesToNE(t *testing.T) {
+	g := batchGame(t)
+	res, err := RunBatch(g, BatchSpec{Process: BestResponseProcess, Replicates: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged != 10 {
+		t.Fatalf("converged %d/10", res.Converged)
+	}
+	for r, run := range res.Runs {
+		ne, err := g.IsNashEquilibrium(run.Final)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ne {
+			t.Fatalf("replicate %d did not end at a NE", r)
+		}
+	}
+	if res.MeanRounds <= 0 || len(res.Engine.JobTimes) != 10 {
+		t.Fatalf("aggregates missing: %+v", res)
+	}
+}
+
+// TestRunBatchValidation covers spec errors.
+func TestRunBatchValidation(t *testing.T) {
+	g := batchGame(t)
+	if _, err := RunBatch(nil, BatchSpec{Process: BestResponseProcess, Replicates: 1}); err == nil {
+		t.Fatal("nil game accepted")
+	}
+	if _, err := RunBatch(g, BatchSpec{Process: BestResponseProcess}); err == nil {
+		t.Fatal("zero replicates accepted")
+	}
+	if _, err := RunBatch(g, BatchSpec{Replicates: 1}); err == nil {
+		t.Fatal("missing process accepted")
+	}
+	if _, err := RunBatch(g, BatchSpec{Process: SimultaneousProcess, Inertia: 2, Replicates: 1}); err == nil {
+		t.Fatal("inertia outside [0,1] accepted")
+	}
+}

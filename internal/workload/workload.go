@@ -1,6 +1,10 @@
-// Package workload provides the named scenarios of the reproduced paper
-// (the games and strategy matrices behind Figures 1, 2, 4 and 5), random
-// instance generators, and parameter sweeps for the experiment harnesses.
+// Package workload provides the scenario registry of the repository: the
+// named worked examples of the reproduced paper (the games and strategy
+// matrices behind Figures 1, 2, 4 and 5), generator-backed parametric
+// families (random instances, heterogeneous budgets, mesh and cognitive
+// deployments), random instance generators and parameter sweeps for the
+// experiment harnesses. The registry is open — see Register — and every
+// scenario resolves through ByName.
 package workload
 
 import (
@@ -8,19 +12,24 @@ import (
 
 	"github.com/multiradio/chanalloc/internal/core"
 	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/hetero"
 	"github.com/multiradio/chanalloc/internal/ratefn"
 )
 
 // Scenario is a named game instance, optionally with a fixed allocation
 // (the paper's worked examples pin both).
 type Scenario struct {
-	// Name identifies the scenario ("fig1", "fig4", "fig5", ...).
+	// Name identifies the scenario ("fig1", "random:8,6,3", ...).
 	Name string
-	// Description says what the paper uses it for.
+	// Description says what the scenario models.
 	Description string
-	// Game is the instance; the paper's figures all use constant R, but
-	// callers may rebuild the game with another rate function via Rebuild.
+	// Game is the uniform-budget instance; nil for heterogeneous scenarios.
+	// The paper's figures all use constant R, but callers may rebuild the
+	// game with another rate function via Rebuild.
 	Game *core.Game
+	// Hetero is the heterogeneous-budget instance for the hetero family;
+	// nil otherwise. Exactly one of Game and Hetero is set.
+	Hetero *hetero.Game
 	// Alloc is the pinned strategy matrix, or nil for generated scenarios.
 	Alloc *core.Alloc
 }
@@ -28,12 +37,23 @@ type Scenario struct {
 // Rebuild returns the same scenario with a different rate function (the
 // matrices are rate-independent; utilities are not).
 func (s *Scenario) Rebuild(r ratefn.Func) (*Scenario, error) {
-	g, err := core.NewGame(s.Game.Users(), s.Game.Channels(), s.Game.Radios(), r)
-	if err != nil {
-		return nil, fmt.Errorf("workload: rebuilding %s: %w", s.Name, err)
-	}
 	out := *s
-	out.Game = g
+	switch {
+	case s.Game != nil:
+		g, err := core.NewGame(s.Game.Users(), s.Game.Channels(), s.Game.Radios(), r)
+		if err != nil {
+			return nil, fmt.Errorf("workload: rebuilding %s: %w", s.Name, err)
+		}
+		out.Game = g
+	case s.Hetero != nil:
+		g, err := hetero.NewGame(s.Hetero.Channels(), s.Hetero.Budgets(), r)
+		if err != nil {
+			return nil, fmt.Errorf("workload: rebuilding %s: %w", s.Name, err)
+		}
+		out.Hetero = g
+	default:
+		return nil, fmt.Errorf("workload: scenario %s has no game", s.Name)
+	}
 	if s.Alloc != nil {
 		out.Alloc = s.Alloc.Clone()
 	}
@@ -116,23 +136,6 @@ func Figure5(r ratefn.Func) (*Scenario, error) {
 		Alloc:       a,
 	}, nil
 }
-
-// ByName resolves a paper scenario by name.
-func ByName(name string, r ratefn.Func) (*Scenario, error) {
-	switch name {
-	case "fig1":
-		return Figure1(r)
-	case "fig4":
-		return Figure4(r)
-	case "fig5":
-		return Figure5(r)
-	default:
-		return nil, fmt.Errorf("workload: unknown scenario %q (want fig1, fig4 or fig5)", name)
-	}
-}
-
-// Names lists the available paper scenarios.
-func Names() []string { return []string{"fig1", "fig4", "fig5"} }
 
 // RandomGame draws a uniformly random game with 1 <= |N| <= maxUsers,
 // 1 <= |C| <= maxChannels and 1 <= k <= min(maxRadios, |C|).

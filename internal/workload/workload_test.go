@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"github.com/multiradio/chanalloc/internal/core"
@@ -73,22 +75,139 @@ func TestFigure5Scenario(t *testing.T) {
 	}
 }
 
+// exampleName returns a resolvable instance of a family for smoke tests:
+// parametric families need parameters, plain names resolve as-is.
+func exampleName(family string) string {
+	switch family {
+	case "random":
+		return "random:5,4,2,9"
+	case "hetero":
+		return "hetero:5,3,2,2,1"
+	default:
+		return family
+	}
+}
+
 func TestByName(t *testing.T) {
 	r := ratefn.NewTDMA(1)
-	for _, name := range Names() {
+	for _, family := range Names() {
+		name := exampleName(family)
 		s, err := ByName(name, r)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if s.Name != name {
-			t.Errorf("scenario name %q, want %q", s.Name, name)
-		}
 		if s.Description == "" {
 			t.Errorf("%s has no description", name)
+		}
+		if (s.Game == nil) == (s.Hetero == nil) {
+			t.Errorf("%s: want exactly one of Game and Hetero", name)
 		}
 	}
 	if _, err := ByName("nope", r); err == nil {
 		t.Fatal("unknown scenario should error")
+	}
+	// Paper figures keep their historical names.
+	for _, name := range []string{"fig1", "fig4", "fig5"} {
+		s, err := ByName(name, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != name || s.Alloc == nil {
+			t.Fatalf("%s: name %q, pinned %v", name, s.Name, s.Alloc != nil)
+		}
+	}
+}
+
+func TestRegistryIsOpen(t *testing.T) {
+	// The registry is process-global, so use a unique name per run to stay
+	// idempotent under -count=N.
+	name := fmt.Sprintf("custom-test-%d", testRegistrations.Add(1))
+	called := false
+	err := Register(Family{Name: name, Usage: name, Description: "test-only"},
+		func(params string, r ratefn.Func) (*Scenario, error) {
+			called = true
+			return Figure5(r)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName(name, ratefn.NewTDMA(1)); err != nil || !called {
+		t.Fatalf("custom scenario did not resolve: %v", err)
+	}
+	if err := Register(Family{Name: name}, nil); err == nil {
+		t.Fatal("duplicate / nil-generator registration should error")
+	}
+	if err := Register(Family{Name: "bad:name"},
+		func(string, ratefn.Func) (*Scenario, error) { return nil, nil }); err == nil {
+		t.Fatal("name with ':' should be rejected")
+	}
+}
+
+// testRegistrations makes registry-mutating tests idempotent across
+// repeated runs in one process.
+var testRegistrations atomic.Int64
+
+func TestParametricFamilies(t *testing.T) {
+	r := ratefn.NewTDMA(1)
+	s, err := ByName("random:6,5,3,7", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Game.Users() != 6 || s.Game.Channels() != 5 || s.Game.Radios() != 3 {
+		t.Fatalf("random dims wrong: %dx%dx%d", s.Game.Users(), s.Game.Channels(), s.Game.Radios())
+	}
+	if s.Alloc == nil || s.Alloc.TotalRadios() != 18 {
+		t.Fatal("random scenario must pin a full-deployment start")
+	}
+	// Same name, same bytes: the pinned start is seed-deterministic.
+	s2, err := ByName("random:6,5,3,7", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Alloc.Equal(s2.Alloc) {
+		t.Fatal("random scenario is not reproducible")
+	}
+
+	h, err := ByName("hetero:6,4,4,2,2,1", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Hetero == nil || h.Hetero.Channels() != 6 || h.Hetero.Users() != 5 {
+		t.Fatalf("hetero scenario wrong: %+v", h)
+	}
+
+	m, err := ByName("mesh", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive static start concentrates every router on the first k
+	// channels — the instructive non-equilibrium the example audits.
+	if m.Alloc.Load(0) != m.Game.Users() {
+		t.Fatalf("mesh naive start load(c1) = %d, want %d", m.Alloc.Load(0), m.Game.Users())
+	}
+	if ne, err := m.Game.IsNashEquilibrium(m.Alloc); err != nil || ne {
+		t.Fatalf("mesh naive start should not be a NE (ne=%v err=%v)", ne, err)
+	}
+
+	for _, bad := range []string{
+		"random:1,2", "random:x,2,1", "random", "hetero:5", "hetero",
+		"mesh:1,2", "cognitive:9", "fig1:3",
+	} {
+		if _, err := ByName(bad, r); err == nil {
+			t.Errorf("%q should not resolve", bad)
+		}
+	}
+}
+
+func TestFamiliesListing(t *testing.T) {
+	fams := Families()
+	if len(fams) != len(Names()) {
+		t.Fatalf("%d families, %d names", len(fams), len(Names()))
+	}
+	for _, f := range fams {
+		if f.Usage == "" || f.Description == "" {
+			t.Errorf("family %q missing usage or description", f.Name)
+		}
 	}
 }
 
