@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, so the benchmark trajectory can be tracked
+// PR-over-PR as a build artifact (the CI workflow writes BENCH_<date>.json
+// on every run):
+//
+//	go test -run xxx -bench=. -benchtime=1x ./... | benchjson -date 2026-07-28 > BENCH_2026-07-28.json
+//
+// Each benchmark line
+//
+//	BenchmarkEnumerateNEParallel/workers8-16  	  42	  123456 ns/op	  9 B/op	 1 allocs/op
+//
+// becomes one entry carrying the op name ("EnumerateNEParallel/workers8"),
+// the GOMAXPROCS/worker suffix (16), the iteration count, ns/op, and any
+// further unit pairs (B/op, allocs/op, ...) as a metrics map. Non-benchmark
+// lines (headers, PASS/ok trailers, failures) are ignored, so the raw
+// `go test` stream pipes straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result.
+type Entry struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the -P suffix: the GOMAXPROCS (worker parallelism) the
+	// benchmark ran with. 1 when the suffix is absent.
+	Procs int `json:"procs"`
+	// Iters is the measured iteration count.
+	Iters int64 `json:"iters"`
+	// NsPerOp is the headline ns/op figure.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further "value unit" pair (B/op, allocs/op,
+	// MB/s, custom units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	// Date stamps the run (the -date flag; CI passes the build date).
+	Date string `json:"date,omitempty"`
+	// GoOS/GoArch record the platform the numbers belong to.
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	// Entries lists the parsed benchmarks in input order.
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	date := fs.String("date", "", "date stamp for the report (e.g. 2026-07-28)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report := Report{Date: *date, GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Entries: []Entry{}}
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for scanner.Scan() {
+		if entry, ok := parseLine(scanner.Text()); ok {
+			report.Entries = append(report.Entries, entry)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("reading benchmark output: %w", err)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&report)
+}
+
+// parseLine parses one `go test -bench` result line; ok is false for
+// anything that is not a benchmark result (headers, trailers, noise).
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	// Minimum shape: name, iters, value, "ns/op".
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	entry := Entry{Name: strings.TrimPrefix(fields[0], "Benchmark"), Procs: 1}
+	// Split the -P GOMAXPROCS suffix off the last path segment.
+	if i := strings.LastIndexByte(entry.Name, '-'); i >= 0 && !strings.Contains(entry.Name[i:], "/") {
+		if procs, err := strconv.Atoi(entry.Name[i+1:]); err == nil && procs > 0 {
+			entry.Name, entry.Procs = entry.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	entry.Iters = iters
+	// The rest is "value unit" pairs; ns/op is required, the others land
+	// in Metrics.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		if unit := fields[i+1]; unit == "ns/op" {
+			entry.NsPerOp = value
+			sawNs = true
+		} else {
+			if entry.Metrics == nil {
+				entry.Metrics = map[string]float64{}
+			}
+			entry.Metrics[unit] = value
+		}
+	}
+	if !sawNs {
+		return Entry{}, false
+	}
+	return entry, true
+}

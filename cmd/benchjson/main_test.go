@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sample mimics a real `go test -bench` stream: headers, sub-benchmarks
+// with GOMAXPROCS suffixes, memory metrics, and trailers.
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/multiradio/chanalloc
+cpu: Example CPU @ 2.00GHz
+BenchmarkFigure1LemmaAudit-16         	  361010	      3246 ns/op
+BenchmarkEnumerateNEParallel/workers1-16  	      18	  63850033 ns/op	 1024 B/op	      12 allocs/op
+BenchmarkEnumerateNEParallel/workers16-16 	     100	  10485934 ns/op
+BenchmarkNoSuffix 	 5	 200 ns/op
+PASS
+ok  	github.com/multiradio/chanalloc	12.279s
+--- FAIL: TestSomething
+FAIL
+`
+
+func TestRunParsesBenchStream(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-date", "2026-07-28"}, strings.NewReader(sample), &b); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal([]byte(b.String()), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if report.Date != "2026-07-28" {
+		t.Fatalf("date %q, want 2026-07-28", report.Date)
+	}
+	if report.GoOS == "" || report.GoArch == "" {
+		t.Fatal("platform fields missing")
+	}
+	if len(report.Entries) != 4 {
+		t.Fatalf("%d entries, want 4: %+v", len(report.Entries), report.Entries)
+	}
+	first := report.Entries[0]
+	if first.Name != "Figure1LemmaAudit" || first.Procs != 16 ||
+		first.Iters != 361010 || first.NsPerOp != 3246 {
+		t.Fatalf("first entry wrong: %+v", first)
+	}
+	workers1 := report.Entries[1]
+	if workers1.Name != "EnumerateNEParallel/workers1" || workers1.Procs != 16 {
+		t.Fatalf("sub-benchmark name/procs wrong: %+v", workers1)
+	}
+	if workers1.Metrics["B/op"] != 1024 || workers1.Metrics["allocs/op"] != 12 {
+		t.Fatalf("memory metrics wrong: %+v", workers1.Metrics)
+	}
+	if report.Entries[2].Name != "EnumerateNEParallel/workers16" {
+		t.Fatalf("third entry wrong: %+v", report.Entries[2])
+	}
+	noSuffix := report.Entries[3]
+	if noSuffix.Name != "NoSuffix" || noSuffix.Procs != 1 || noSuffix.NsPerOp != 200 {
+		t.Fatalf("suffix-less entry wrong: %+v", noSuffix)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"goos: linux",
+		"PASS",
+		"ok  	github.com/multiradio/chanalloc	12.279s",
+		"--- FAIL: TestSomething",
+		"BenchmarkBroken-8 notanint 123 ns/op",
+		"BenchmarkNoUnit-8 	 5",
+		"BenchmarkNoNs-8 	 5	 12 B/op", // pairs but no ns/op
+		"BenchmarkOdd-8 	 5	 12",       // value without unit
+	} {
+		if entry, ok := parseLine(line); ok {
+			t.Errorf("%q parsed as %+v, want rejection", line, entry)
+		}
+	}
+}
+
+func TestRunEmptyInputStillValidJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, strings.NewReader(""), &b); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal([]byte(b.String()), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Entries == nil || len(report.Entries) != 0 {
+		t.Fatalf("want empty (non-null) entries, got %+v", report.Entries)
+	}
+	if report.Date != "" {
+		t.Fatalf("unexpected date %q", report.Date)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}

@@ -507,10 +507,107 @@ func expLiteral(out io.Writer, env expEnv) error {
 	return writeCSV(env.csvDir, "e10_literal.csv", []string{"game", "literal_fail", "corrected_fail"}, rows)
 }
 
+// expDistBatch (E12) is experiment E7 at scale: a full (game × policy-mix)
+// grid of token-ring runs batched over the engine via dist.RunBatch instead
+// of one RunLocal at a time. Greedy rings must still reproduce centralised
+// Algorithm 1, best-response rings must still land on NE — now verified
+// across the whole grid in one engine pass, with randomised-tie-break
+// policies seeded from each run's private stream.
+func expDistBatch(out io.Writer, env expEnv) error {
+	fmt.Fprintln(out, "== E12: batched distributed protocol (game × policy-mix grid) ==")
+	r := chanalloc.TDMA(1)
+	games := []struct{ n, c, k int }{
+		{4, 4, 2}, {5, 4, 3}, {7, 6, 4}, {10, 8, 4}, {12, 8, 5},
+	}
+	mixes := []struct {
+		name    string
+		factory func(g *chanalloc.Game) func(rng *chanalloc.RNG) ([]chanalloc.Policy, error)
+	}{
+		{"greedy", func(g *chanalloc.Game) func(rng *chanalloc.RNG) ([]chanalloc.Policy, error) {
+			return func(rng *chanalloc.RNG) ([]chanalloc.Policy, error) {
+				return chanalloc.UniformPolicies(g.Users(), func(int) chanalloc.Policy {
+					return &chanalloc.GreedyPolicy{}
+				}), nil
+			}
+		}},
+		{"best-response", func(g *chanalloc.Game) func(rng *chanalloc.RNG) ([]chanalloc.Policy, error) {
+			return func(rng *chanalloc.RNG) ([]chanalloc.Policy, error) {
+				return chanalloc.UniformPolicies(g.Users(), func(int) chanalloc.Policy {
+					return &chanalloc.BestResponsePolicy{Rate: r}
+				}), nil
+			}
+		}},
+		{"mixed", func(g *chanalloc.Game) func(rng *chanalloc.RNG) ([]chanalloc.Policy, error) {
+			return func(rng *chanalloc.RNG) ([]chanalloc.Policy, error) {
+				return chanalloc.UniformPolicies(g.Users(), func(user int) chanalloc.Policy {
+					if user%2 == 0 {
+						return &chanalloc.GreedyPolicy{Tie: chanalloc.TieRandom, Seed: rng.Uint64()}
+					}
+					return &chanalloc.BestResponsePolicy{Rate: r}
+				}), nil
+			}
+		}},
+	}
+	var specs []chanalloc.DistRunSpec
+	gameObjs := make([]*chanalloc.Game, len(games))
+	for gi, cfg := range games {
+		g, err := chanalloc.NewGame(cfg.n, cfg.c, cfg.k, r)
+		if err != nil {
+			return err
+		}
+		gameObjs[gi] = g
+		for _, mix := range mixes {
+			specs = append(specs, chanalloc.DistRunSpec{Game: g, Policies: mix.factory(g)})
+		}
+	}
+	res, err := chanalloc.RunDistributedBatch(specs,
+		chanalloc.EngineSeed(env.seed), chanalloc.EngineWorkers(env.workers))
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for i, runRes := range res.Runs {
+		gi, mi := i/len(mixes), i%len(mixes)
+		g := gameObjs[gi]
+		ne, err := g.IsNashEquilibrium(runRes.Alloc)
+		if err != nil {
+			return err
+		}
+		matches := "-"
+		if mixes[mi].name == "greedy" {
+			central, err := chanalloc.Algorithm1(g)
+			if err != nil {
+				return err
+			}
+			matches = fmt.Sprintf("%v", runRes.Alloc.Equal(central))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%dx%dx%d", games[gi].n, games[gi].c, games[gi].k),
+			mixes[mi].name,
+			fmt.Sprintf("%v", runRes.Stats.Converged),
+			fmt.Sprintf("%v", ne),
+			matches,
+			fmt.Sprintf("%d", runRes.Stats.Rounds),
+			fmt.Sprintf("%d", runRes.Stats.Messages),
+		})
+	}
+	table, err := textplot.Table(
+		[]string{"game (NxCxk)", "policy mix", "converged", "NE", "greedy == Alg 1", "rounds", "messages"}, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
+	fmt.Fprintf(out, "batch: %d runs, %d protocol messages\n\n", len(res.Runs), res.Messages)
+	return writeCSV(env.csvDir, "e12_distbatch.csv",
+		[]string{"game", "mix", "converged", "ne", "greedy_matches", "rounds", "messages"}, rows)
+}
+
 // expHetero (E11) extends the model to heterogeneous radio budgets and
 // checks which of the paper's structural results survive: full deployment,
-// load balancing (δ <= 1) and the NE property of sequential greedy
-// allocation. The seed batch fans out over the engine.
+// load balancing (δ <= 1), the NE property of sequential greedy
+// allocation — and how the NE welfare compares to the heterogeneous
+// all-placed optimum (price of anarchy). The seed batch fans out over the
+// engine.
 func expHetero(out io.Writer, env expEnv) error {
 	fmt.Fprintln(out, "== E11: heterogeneous radio budgets (beyond the paper's uniform k) ==")
 	rows := [][]string{}
@@ -559,21 +656,35 @@ func expHetero(out io.Writer, env expEnv) error {
 					balanced = false
 				}
 			}
+			// Welfare of the deterministic greedy NE against the
+			// heterogeneous all-placed optimum: the price of anarchy beyond
+			// uniform k.
+			a, err := chanalloc.HeteroAlgorithm1(g, chanalloc.TieFirst, 0)
+			if err != nil {
+				return err
+			}
+			opt, _ := chanalloc.HeteroOptimalWelfareAllPlaced(g)
+			welfare := g.Welfare(a)
 			rows = append(rows, []string{
 				fmt.Sprintf("C=%d k=%v", cfg.channels, cfg.budgets),
 				rate.Name(),
 				fmt.Sprintf("%d/%d", neOK, seeds),
 				fmt.Sprintf("%v", balanced),
+				fmt.Sprintf("%.4f", welfare),
+				fmt.Sprintf("%.4f", opt),
+				fmt.Sprintf("%.4f", welfare/opt),
 			})
 		}
 	}
-	table, err := textplot.Table([]string{"deployment", "rate", "NE runs", "δ<=1 always"}, rows)
+	table, err := textplot.Table(
+		[]string{"deployment", "rate", "NE runs", "δ<=1 always", "NE welfare", "all-placed opt", "PoA"}, rows)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
-	return writeCSV(env.csvDir, "e11_hetero.csv", []string{"deployment", "rate", "ne_runs", "balanced"}, rows)
+	return writeCSV(env.csvDir, "e11_hetero.csv",
+		[]string{"deployment", "rate", "ne_runs", "balanced", "welfare", "all_opt", "poa"}, rows)
 }
 
 // writeCSV writes rows to csvDir/name when csvDir is set.

@@ -12,25 +12,34 @@
 //	E8  boundary  — rate-decay boundary of Theorem 1 sufficiency
 //	E9  poa       — price of anarchy of NE across rate decay
 //	E10 literal   — the paper-literal Algorithm 1 rule failure rate
-//	E11 hetero    — heterogeneous radio budgets: NE properties beyond
-//	                the paper's uniform-k assumption
+//	E11 hetero    — heterogeneous radio budgets: NE properties, welfare
+//	                optimum and price of anarchy beyond uniform k
+//	E12 distbatch — E7 at scale: a (game × policy-mix) grid of token rings
+//	                batched over the engine (dist.RunBatch)
 //
-// The suite executes on the parallel experiment engine: experiments run as
-// jobs over a -workers-sized pool, and their internal batch paths (seed
-// sweeps, NE enumeration, dynamics replicates) each fan out over their own
-// pool of the same size — nested fan-out, so peak concurrency can exceed
-// -workers. All randomness derives from -seed through per-job PRNG
-// streams, so output — stdout and CSVs — is byte-identical for any
-// -workers value.
+// The suite executes on the parallel experiment engine through a pluggable
+// backend: experiments run as jobs of a registered engine task, fanned out
+// either over the in-process pool (default) or over worker subprocesses
+// (-backend process -shards N; each shard is this binary re-exec'd in
+// engine-worker mode, speaking newline-delimited JSON over stdio). The
+// experiments' internal batch paths (seed sweeps, NE enumeration, dynamics
+// replicates, batched protocol rings) each fan out over their own
+// -workers-sized in-process pool — nested fan-out, so peak concurrency can
+// exceed -workers. All randomness derives from -seed through per-job PRNG
+// streams, so output — stdout and CSVs — is byte-identical for any -workers
+// value AND any backend/shard combination.
 //
-//	sweep -exp all                    # run everything (few minutes)
-//	sweep -exp boundary               # one experiment
-//	sweep -exp all -out data/         # also write CSVs
-//	sweep -exp all -seed 7 -workers 4 # reproducible, 4 workers
+//	sweep -exp all                        # run everything (few minutes)
+//	sweep -exp boundary                   # one experiment
+//	sweep -exp all -out data/             # also write CSVs
+//	sweep -exp all -seed 7 -workers 4     # reproducible, 4 workers
+//	sweep -exp all -backend process -shards 4  # shard over 4 subprocesses
 package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +52,7 @@ import (
 var experimentOrder = []string{
 	"lemmas", "theorem1", "pareto", "alg1", "fairshare",
 	"dynamics", "dist", "boundary", "poa", "literal", "hetero",
+	"distbatch",
 }
 
 var experiments = map[string]func(io.Writer, expEnv) error{
@@ -57,11 +67,13 @@ var experiments = map[string]func(io.Writer, expEnv) error{
 	"poa":       expPoA,
 	"literal":   expLiteral,
 	"hetero":    expHetero,
+	"distbatch": expDistBatch,
 }
 
 // experimentIndex returns an experiment's fixed position in
 // experimentOrder. Per-experiment seeds derive from this index, so the
-// stream an experiment sees does not depend on which subset runs.
+// stream an experiment sees does not depend on which subset runs — or on
+// which backend shard runs it.
 func experimentIndex(name string) int {
 	for i, n := range experimentOrder {
 		if n == name {
@@ -71,7 +83,71 @@ func experimentIndex(name string) int {
 	return -1
 }
 
+// expTask is the engine task name the suite runs under; registering the
+// experiments as a task is what lets the process backend ship them to
+// worker subprocesses.
+const expTask = "sweep/experiment"
+
+// expParams is the batch-wide parameter blob of the experiment task.
+type expParams struct {
+	// Exps lists the experiments of the batch; job i runs Exps[i].
+	Exps []string `json:"exps"`
+	// CSVDir is where experiments write CSVs ("" skips them). Worker
+	// subprocesses share the coordinator's filesystem, so CSVs land in the
+	// same place on every backend.
+	CSVDir string `json:"csv_dir,omitempty"`
+	// Seed is the root -seed flag; each experiment derives its private
+	// root from it and its fixed index.
+	Seed uint64 `json:"seed"`
+	// Workers sizes the experiments' internal in-process pools.
+	Workers int `json:"workers"`
+}
+
+// expOutput is one experiment's result. A failing experiment reports its
+// error here rather than as a job error so the batch still completes and
+// the suite can print everything that preceded the failure, exactly like
+// the historical in-process path.
+type expOutput struct {
+	Output string `json:"output"`
+	Err    string `json:"err,omitempty"`
+}
+
+func init() {
+	if err := chanalloc.RegisterEngineTask(expTask,
+		func(raw json.RawMessage, job int, _ *chanalloc.RNG) (any, error) {
+			var p expParams
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, fmt.Errorf("decoding params: %w", err)
+			}
+			if job < 0 || job >= len(p.Exps) {
+				return nil, fmt.Errorf("job %d outside %d experiments", job, len(p.Exps))
+			}
+			name := p.Exps[job]
+			fn, ok := experiments[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown experiment %q", name)
+			}
+			env := expEnv{
+				csvDir:  p.CSVDir,
+				seed:    chanalloc.EngineJobSeed(p.Seed, experimentIndex(name)),
+				workers: p.Workers,
+			}
+			var out expOutput
+			var buf bytes.Buffer
+			if err := fn(&buf, env); err != nil {
+				out.Err = fmt.Sprintf("experiment %s: %v", name, err)
+			}
+			out.Output = buf.String()
+			return out, nil
+		}); err != nil {
+		panic(err)
+	}
+}
+
 func main() {
+	// In engine-worker mode (spawned by -backend process) this serves task
+	// jobs over stdio and exits; in a normal run it is a no-op.
+	chanalloc.RunEngineWorkerIfRequested()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
@@ -84,8 +160,19 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("out", "", "directory for CSV output (omit to skip)")
 	seed := fs.Uint64("seed", 0, "root seed for every randomised experiment")
 	workers := fs.Int("workers", 0, "worker-pool size (<= 0 means NumCPU)")
+	backendName := fs.String("backend", "inprocess", "engine backend: inprocess or process")
+	shards := fs.Int("shards", 0, "worker subprocesses for -backend process (<= 0 means NumCPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var backend chanalloc.EngineBackend
+	switch *backendName {
+	case "inprocess":
+		backend = chanalloc.NewInProcessBackend()
+	case "process":
+		backend = chanalloc.NewProcessBackend(*shards)
+	default:
+		return fmt.Errorf("unknown backend %q (want inprocess or process)", *backendName)
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -100,36 +187,25 @@ func run(args []string, out io.Writer) error {
 		names = []string{*exp}
 	}
 
-	// Experiments are themselves engine jobs: each writes into its own
-	// buffer, the buffers print in suite order. A failing experiment does
-	// not discard the others' completed output — everything before it in
-	// the suite still prints, then its error surfaces with the name
-	// attached.
-	type expResult struct {
-		buf bytes.Buffer
-		err error
-	}
-	results, _, err := chanalloc.ParallelMap(len(names), func(i int, _ *chanalloc.RNG) (*expResult, error) {
-		name := names[i]
-		env := expEnv{
-			csvDir:  *csvDir,
-			seed:    chanalloc.EngineJobSeed(*seed, experimentIndex(name)),
-			workers: *workers,
-		}
-		var res expResult
-		if err := experiments[name](&res.buf, env); err != nil {
-			res.err = fmt.Errorf("experiment %s: %w", name, err)
-		}
-		return &res, nil
-	}, chanalloc.EngineWorkers(*workers))
+	// Experiments are jobs of one engine-task batch over the selected
+	// backend: each writes into its own buffer, the buffers print in suite
+	// order. A failing experiment does not discard the others' completed
+	// output — everything before it in the suite still prints, then its
+	// error surfaces with the name attached.
+	results, _, err := chanalloc.RunEngineTask[expOutput](backend, expTask, expParams{
+		Exps:    names,
+		CSVDir:  *csvDir,
+		Seed:    *seed,
+		Workers: *workers,
+	}, len(names), chanalloc.EngineWorkers(*workers))
 	if err != nil {
 		return err
 	}
 	for _, res := range results {
-		if res.err != nil {
-			return res.err
+		if res.Err != "" {
+			return errors.New(res.Err)
 		}
-		if _, err := io.Copy(out, &res.buf); err != nil {
+		if _, err := io.WriteString(out, res.Output); err != nil {
 			return err
 		}
 	}

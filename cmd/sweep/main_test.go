@@ -7,11 +7,22 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"github.com/multiradio/chanalloc"
 )
+
+// TestMain lets the test binary double as the engine-worker binary: when
+// the process backend re-execs it, it serves sweep-experiment jobs instead
+// of running tests (the task registration lives in main.go's init, shared
+// by both roles).
+func TestMain(m *testing.M) {
+	chanalloc.RunEngineWorkerIfRequested()
+	os.Exit(m.Run())
+}
 
 // fastExperiments are the ones cheap enough to run in unit tests; the heavy
 // ones (literal, fairshare) get dedicated smoke tests below.
-var fastExperiments = []string{"lemmas", "theorem1", "pareto", "dynamics", "dist", "boundary", "poa"}
+var fastExperiments = []string{"lemmas", "theorem1", "pareto", "dynamics", "dist", "boundary", "poa", "distbatch"}
 
 func TestFastExperiments(t *testing.T) {
 	for _, exp := range fastExperiments {
@@ -124,17 +135,18 @@ func TestFairShareAgreesWithModel(t *testing.T) {
 }
 
 // sweepRun executes one sweep invocation and returns its stdout plus the
-// byte content of every CSV it wrote.
-func sweepRun(t *testing.T, exp string, seed uint64, workers int) (string, map[string]string) {
+// byte content of every CSV it wrote. extraArgs append to the flag list
+// (backend selection and the like).
+func sweepRun(t *testing.T, exp string, seed uint64, workers int, extraArgs ...string) (string, map[string]string) {
 	t.Helper()
 	dir := t.TempDir()
 	var b strings.Builder
-	err := run([]string{
+	err := run(append([]string{
 		"-exp", exp,
 		"-seed", fmt.Sprint(seed),
 		"-workers", fmt.Sprint(workers),
 		"-out", dir,
-	}, &b)
+	}, extraArgs...), &b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,6 +191,45 @@ func TestWorkersDoNotChangeOutput(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestProcessBackendDoesNotChangeOutput is the backend-conformance contract
+// at the CLI surface: same -seed, -backend process with any -shards =>
+// stdout and CSVs byte-identical to the in-process run. Covered experiments
+// span the randomised engine-sharded paths (theorem1, dynamics) and the
+// batched protocol grid (distbatch).
+func TestProcessBackendDoesNotChangeOutput(t *testing.T) {
+	for _, exp := range []string{"theorem1", "dynamics", "distbatch"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			const seed = 7
+			baseOut, baseCSVs := sweepRun(t, exp, seed, 2)
+			for _, shards := range []int{1, 2} {
+				gotOut, gotCSVs := sweepRun(t, exp, seed, 2,
+					"-backend", "process", "-shards", fmt.Sprint(shards))
+				if gotOut != baseOut {
+					t.Fatalf("process backend (shards=%d) changed stdout:\n--- inprocess\n%s\n--- process\n%s",
+						shards, baseOut, gotOut)
+				}
+				if len(gotCSVs) != len(baseCSVs) || len(baseCSVs) == 0 {
+					t.Fatalf("process backend wrote %d CSVs, want %d", len(gotCSVs), len(baseCSVs))
+				}
+				for name, want := range baseCSVs {
+					if gotCSVs[name] != want {
+						t.Fatalf("process backend (shards=%d) changed %s", shards, name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUnknownBackend rejects a bad -backend value before any work runs.
+func TestUnknownBackend(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "lemmas", "-backend", "quantum"}, &b); err == nil {
+		t.Fatal("unknown backend should error")
 	}
 }
 

@@ -26,6 +26,10 @@ type (
 	AgentResult = dist.AgentResult
 	// DistResult bundles coordinator and agent views of an in-process run.
 	DistResult = dist.LocalResult
+	// DistRunSpec describes one token-ring run of an engine-fanned batch.
+	DistRunSpec = dist.RunSpec
+	// DistBatchResult aggregates an engine-batched set of protocol runs.
+	DistBatchResult = dist.BatchResult
 )
 
 // NewCoordinator builds a protocol coordinator for g.
@@ -54,4 +58,12 @@ func RunDistributed(g *Game, policies []Policy, opts ...CoordinatorOption) (*Dis
 // UniformPolicies builds one policy per user from a factory.
 func UniformPolicies(n int, factory func(user int) Policy) []Policy {
 	return dist.UniformPolicies(n, factory)
+}
+
+// RunDistributedBatch fans many token-ring runs — typically a (game ×
+// policy-mix) grid — over the engine's worker pool. Run r reproduces an
+// independent RunDistributed call with policies built from the stream
+// EngineJobSeed(root, r), exactly and for any worker count.
+func RunDistributedBatch(specs []DistRunSpec, opts ...EngineOption) (*DistBatchResult, error) {
+	return dist.RunBatch(specs, opts...)
 }

@@ -45,9 +45,57 @@ func ParallelForEach(n int, fn func(job int, rng *RNG) error, opts ...EngineOpti
 }
 
 // EnumerateNEParallel is EnumerateNE sharded over the worker pool by the
-// first user's strategy row; the result is identical to the serial
-// enumeration, equilibrium for equilibrium, for every worker count
-// (workers < 1 means runtime.NumCPU()).
+// first user's strategy row — or, when the game has few strategies per user
+// relative to the pool, by the first two users' rows, keeping every worker
+// busy. Either way the result is identical to the serial enumeration,
+// equilibrium for equilibrium, for every worker count (workers < 1 means
+// runtime.NumCPU()).
 func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, error) {
 	return core.EnumerateNEParallel(g, maxProfiles, workers)
 }
+
+// Pluggable engine backends, re-exported. A Backend executes batches of a
+// named, registered task (closures cannot cross process boundaries) under
+// the engine's determinism contract: per-job PRNG streams seeded by
+// (root seed, job index) alone and index-ordered fan-in, so every backend
+// produces byte-identical results — the in-process pool and the
+// multi-process coordinator alike. See the internal/engine package
+// documentation.
+type (
+	// EngineBackend executes task batches under the determinism contract.
+	EngineBackend = engine.Backend
+	// EngineTaskFunc runs one job of a registered task.
+	EngineTaskFunc = engine.TaskFunc
+	// InProcessBackend is the default backend: the in-process worker pool.
+	InProcessBackend = engine.InProcess
+	// ProcessBackend shards batches over re-exec'd worker subprocesses
+	// speaking newline-delimited JSON over stdio.
+	ProcessBackend = engine.Process
+)
+
+// NewInProcessBackend returns the default in-process backend.
+func NewInProcessBackend() *InProcessBackend { return engine.NewInProcess() }
+
+// NewProcessBackend returns a multi-process backend sharding batches over
+// `shards` worker subprocesses (shards < 1 means one per CPU). Workers are
+// the current binary re-exec'd in engine-worker mode; call
+// RunEngineWorkerIfRequested first thing in main to enable that mode.
+func NewProcessBackend(shards int) *ProcessBackend { return engine.NewProcess(shards) }
+
+// RegisterEngineTask adds a named task to the process-global registry so
+// backends (including worker subprocesses) can run it.
+func RegisterEngineTask(name string, fn EngineTaskFunc) error {
+	return engine.RegisterTask(name, fn)
+}
+
+// RunEngineTask runs a registered task over any backend with typed
+// parameters and per-job results.
+func RunEngineTask[T any](b EngineBackend, task string, params any, n int, opts ...EngineOption) ([]T, EngineStats, error) {
+	return engine.RunTask[T](b, task, params, n, opts...)
+}
+
+// RunEngineWorkerIfRequested turns the process into an engine worker when
+// the ProcessBackend's environment marker is set, serving task jobs over
+// stdio until the coordinator closes the pipe; it returns immediately in a
+// normal run. Call it at the top of main, after task registrations.
+func RunEngineWorkerIfRequested() { engine.RunWorkerIfRequested() }

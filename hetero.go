@@ -30,6 +30,25 @@ func HeteroAlgorithm1(g *HeteroGame, tie TieBreak, seed uint64) (*Alloc, error) 
 // generalised Proposition 1 property).
 func LoadBalanced(a *Alloc) bool { return hetero.LoadBalanced(a) }
 
+// HeteroOptimalWelfareAllPlaced computes the maximum total rate over load
+// vectors placing all Σ_i k_i radios — the heterogeneous analogue of
+// OptimalWelfareAllPlaced and the denominator of HeteroPriceOfAnarchy.
+func HeteroOptimalWelfareAllPlaced(g *HeteroGame) (float64, []int) {
+	return hetero.OptimalWelfareAllPlaced(g)
+}
+
+// HeteroOptimalWelfareIdleAllowed computes the maximum total rate when
+// radios may idle: min(|C|, Σ_i k_i) channels lit with one radio each.
+func HeteroOptimalWelfareIdleAllowed(g *HeteroGame) (float64, []int) {
+	return hetero.OptimalWelfareIdleAllowed(g)
+}
+
+// HeteroPriceOfAnarchy returns Welfare(a) divided by the all-placed
+// heterogeneous welfare optimum (1 means system-optimal; see E11).
+func HeteroPriceOfAnarchy(g *HeteroGame, a *Alloc) (float64, error) {
+	return hetero.PriceOfAnarchy(g, a)
+}
+
 // Spectrum modelling: bands, channels, devices and radio-level assignments.
 type (
 	// Band is a frequency band of equal-width orthogonal channels.

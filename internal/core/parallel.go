@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/multiradio/chanalloc/internal/combin"
 	"github.com/multiradio/chanalloc/internal/des"
@@ -9,11 +10,14 @@ import (
 )
 
 // EnumerateNEParallel is EnumerateNE sharded over the engine's worker
-// pool: the profile space is partitioned by the first user's strategy row
-// (the outermost odometer digit of the serial enumeration), each shard is
-// searched independently, and the shard results are concatenated in row
-// order — so the output is identical, equilibrium for equilibrium, to the
-// serial EnumerateNE regardless of worker count. workers < 1 means
+// pool. The profile space is partitioned by the first user's strategy row
+// (the outermost odometer digit of the serial enumeration) — or, when the
+// game has fewer rows than twice the pool (few strategies per user, the
+// many-user regime), by the first two users' rows, which squares the shard
+// count and keeps every worker busy. Each shard is searched independently
+// and the shard results are concatenated in digit order — so the output is
+// identical, equilibrium for equilibrium, to the serial EnumerateNE
+// regardless of worker count or sharding depth. workers < 1 means
 // runtime.NumCPU().
 func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, error) {
 	rows, err := strategyRows(g)
@@ -23,21 +27,45 @@ func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, err
 	if err := checkProfileCap(g.Users(), int64(len(rows)), maxProfiles); err != nil {
 		return nil, err
 	}
+	pool := workers
+	if pool < 1 {
+		pool = runtime.NumCPU()
+	}
+	// Shard on users 0 and 1 when single-row shards cannot fill the pool
+	// twice over (the "2×workers" rule keeps per-shard work comfortably
+	// above pool overhead while levelling uneven shard costs).
+	depth := 1
+	if g.Users() >= 2 && len(rows) < 2*pool {
+		depth = 2
+	}
+	shardCount := len(rows)
+	if depth == 2 {
+		shardCount = len(rows) * len(rows)
+	}
 
-	shards, _, err := engine.Map(len(rows), func(job int, _ *des.RNG) ([]*Alloc, error) {
+	shards, _, err := engine.Map(shardCount, func(job int, _ *des.RNG) ([]*Alloc, error) {
 		a := g.NewEmptyAlloc()
-		if err := a.SetRow(0, rows[job]); err != nil {
-			return nil, fmt.Errorf("core: shard %d: %w", job, err)
+		// Decode the shard's pinned leading digits (job is the serial
+		// enumeration's leading odometer reading).
+		pinned := depth
+		digits := [2]int{job, 0}
+		if depth == 2 {
+			digits[0], digits[1] = job/len(rows), job%len(rows)
 		}
-		// One profile when the game has a single user; otherwise the full
-		// product over users 1..N-1 with user 0 pinned to this shard's row.
-		rest := make([]int, g.Users()-1)
+		for u := 0; u < pinned; u++ {
+			if err := a.SetRow(u, rows[digits[u]]); err != nil {
+				return nil, fmt.Errorf("core: shard %d: %w", job, err)
+			}
+		}
+		// The full product over the remaining users with the pinned rows
+		// fixed; one profile when every user is pinned.
+		rest := make([]int, g.Users()-pinned)
 		for i := range rest {
 			rest[i] = len(rows)
 		}
 		var out []*Alloc
 		var innerErr error
-		err := forEachRest(a, rows, rest, func(b *Alloc) bool {
+		err := forEachRest(a, rows, pinned, rest, func(b *Alloc) bool {
 			ok, err := g.IsNashEquilibrium(b)
 			if err != nil {
 				innerErr = err
@@ -68,13 +96,13 @@ func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, err
 }
 
 // forEachRest walks the cartesian product of strategy rows for users
-// 1..N-1 on top of a (user 0's row already set), calling fn with the
-// reused allocation. Matches the serial ForEachAlloc iteration order for a
-// fixed outermost digit.
-func forEachRest(a *Alloc, rows [][]int, sizes []int, fn func(*Alloc) bool) error {
+// pinned..N-1 on top of a (users 0..pinned-1 already set), calling fn with
+// the reused allocation. Matches the serial ForEachAlloc iteration order
+// for fixed leading digits.
+func forEachRest(a *Alloc, rows [][]int, pinned int, sizes []int, fn func(*Alloc) bool) error {
 	return combin.Product(sizes, func(idx []int) bool {
 		for u, ri := range idx {
-			if err := a.SetRow(u+1, rows[ri]); err != nil {
+			if err := a.SetRow(u+pinned, rows[ri]); err != nil {
 				// rows are pre-validated; this cannot fail.
 				return false
 			}

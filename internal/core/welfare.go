@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/multiradio/chanalloc/internal/combin"
+	"github.com/multiradio/chanalloc/internal/ratefn"
 )
 
 // OptimalWelfareAllPlaced computes the maximum achievable total rate
@@ -12,13 +13,19 @@ import (
 // (Lemma 1 forces full deployment in equilibrium, so this is the natural
 // welfare benchmark for NE comparisons). It returns the optimum and one
 // optimising load vector.
+func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
+	return OptimalLoadWelfare(g.Rate(), g.Channels(), g.Users()*g.Radios())
+}
+
+// OptimalLoadWelfare maximises Σ_{c : l_c > 0} R(l_c) over load vectors on
+// C channels placing exactly total radios — the welfare optimum depends on
+// the load vector alone, so uniform-budget and heterogeneous games share
+// this dynamic program (total = |N|·k and Σ_i k_i respectively). It returns
+// the optimum and one optimising load vector.
 //
 // The optimisation is a dynamic program over channels and remaining radios:
-// O(|C| · T²) for T = |N|·k total radios.
-func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
-	total := g.Users() * g.Radios()
-	C := g.Channels()
-
+// O(|C| · T²) for T total radios.
+func OptimalLoadWelfare(rate ratefn.Func, C, total int) (float64, []int) {
 	// f[c][t] = best welfare over channels c..C-1 placing exactly t radios.
 	negInf := math.Inf(-1)
 	f := make([][]float64, C+1)
@@ -38,7 +45,7 @@ func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
 				if tail == negInf {
 					continue
 				}
-				val := g.Rate().Rate(l) + tail
+				val := rate.Rate(l) + tail
 				if val > best {
 					best, bestL = val, l
 				}

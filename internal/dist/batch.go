@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"fmt"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/engine"
+)
+
+// RunSpec describes one token-ring run of a batch: a game, a policy
+// factory, and per-run coordinator options. Policies are built fresh per
+// run (they are stateful — GreedyPolicy carries its placement RNG), seeded
+// from the run's private engine stream so a batch is reproducible for any
+// worker count.
+type RunSpec struct {
+	// Game is the allocation game the ring negotiates.
+	Game *core.Game
+	// Policies builds the device policies for this run. rng is the run's
+	// private PRNG stream (seeded by engine.JobSeed(root, run)); factories
+	// that randomise tie-breaks must draw their seeds from it and nothing
+	// else.
+	Policies func(rng *des.RNG) ([]Policy, error)
+	// Opts configure the run's coordinator (round cap, timeout).
+	Opts []CoordinatorOption
+}
+
+// BatchResult aggregates an engine-batched set of protocol runs.
+type BatchResult struct {
+	// Runs holds the per-run results, in spec order.
+	Runs []*LocalResult
+	// Converged counts runs whose ring went quiet before the round cap.
+	Converged int
+	// Messages totals protocol frames across all runs.
+	Messages int
+	// Engine reports how the batch executed (workers, timings).
+	Engine engine.Stats
+}
+
+// RunBatch fans many token-ring runs — typically a (game × policy-mix)
+// grid — over the engine's worker pool. Run r executes RunLocal on
+// specs[r] with policies built from the stream engine.JobSeed(root, r), so
+// the batch reproduces r independent RunLocal calls exactly, run for run,
+// regardless of the worker count. This is experiment E7 at scale: where
+// RunLocal negotiates one game at a time, RunBatch pushes a whole policy-mix
+// study through the protocol in one engine pass.
+func RunBatch(specs []RunSpec, opts ...engine.Option) (*BatchResult, error) {
+	for i, spec := range specs {
+		if spec.Game == nil {
+			return nil, fmt.Errorf("dist: batch run %d has no game", i)
+		}
+		if spec.Policies == nil {
+			return nil, fmt.Errorf("dist: batch run %d has no policy factory", i)
+		}
+	}
+	runs, stats, err := engine.Map(len(specs), func(r int, rng *des.RNG) (*LocalResult, error) {
+		spec := specs[r]
+		policies, err := spec.Policies(rng)
+		if err != nil {
+			return nil, fmt.Errorf("building policies for run %d: %w", r, err)
+		}
+		res, err := RunLocal(spec.Game, policies, spec.Opts...)
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", r, err)
+		}
+		return res, nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := &BatchResult{Runs: runs, Engine: stats}
+	for _, res := range runs {
+		if res.Stats.Converged {
+			out.Converged++
+		}
+		out.Messages += res.Stats.Messages
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/engine"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+// batchSpecs builds a small (game × policy-mix) grid: greedy rings with
+// randomised tie-breaks, best-response rings, and mixed rings.
+func batchSpecs(t *testing.T) []RunSpec {
+	t.Helper()
+	r := ratefn.NewTDMA(1)
+	var specs []RunSpec
+	for _, dims := range []struct{ n, c, k int }{{4, 4, 2}, {5, 4, 3}, {7, 6, 4}} {
+		g, err := core.NewGame(dims.n, dims.c, dims.k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs,
+			RunSpec{Game: g, Policies: func(rng *des.RNG) ([]Policy, error) {
+				return UniformPolicies(g.Users(), func(int) Policy {
+					return &GreedyPolicy{Tie: core.TieRandom, Seed: rng.Uint64()}
+				}), nil
+			}},
+			RunSpec{Game: g, Policies: func(rng *des.RNG) ([]Policy, error) {
+				return UniformPolicies(g.Users(), func(int) Policy {
+					return &BestResponsePolicy{Rate: r}
+				}), nil
+			}},
+			RunSpec{Game: g, Policies: func(rng *des.RNG) ([]Policy, error) {
+				return UniformPolicies(g.Users(), func(user int) Policy {
+					if user%2 == 0 {
+						return &GreedyPolicy{Tie: core.TieRandom, Seed: rng.Uint64()}
+					}
+					return &BestResponsePolicy{Rate: r}
+				}), nil
+			}},
+		)
+	}
+	return specs
+}
+
+// TestRunBatchReproducesRunLocal is the RunBatch acceptance contract: the
+// batch reproduces N independent RunLocal results exactly for the same
+// seeds, for any worker count.
+func TestRunBatchReproducesRunLocal(t *testing.T) {
+	const root = 11
+	specs := batchSpecs(t)
+
+	// The serial reference: one RunLocal per spec, policies built from the
+	// same per-run stream the engine will hand out.
+	want := make([]*LocalResult, len(specs))
+	for r, spec := range specs {
+		policies, err := spec.Policies(des.NewRNG(engine.JobSeed(root, r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[r], err = RunLocal(spec.Game, policies, spec.Opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			got, err := RunBatch(specs, engine.Seed(root), engine.Workers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Runs) != len(specs) {
+				t.Fatalf("%d runs, want %d", len(got.Runs), len(specs))
+			}
+			for r, res := range got.Runs {
+				if !res.Alloc.Equal(want[r].Alloc) {
+					t.Fatalf("run %d allocation differs from RunLocal:\n%v\nvs\n%v",
+						r, res.Alloc, want[r].Alloc)
+				}
+				if res.Stats != want[r].Stats {
+					t.Fatalf("run %d stats %+v, want %+v", r, res.Stats, want[r].Stats)
+				}
+			}
+			if got.Converged == 0 || got.Messages == 0 {
+				t.Fatalf("aggregates not populated: %+v", got)
+			}
+		})
+	}
+}
+
+// TestRunBatchConvergesToNE: every best-response ring in the batch lands on
+// a Nash equilibrium (the potential-game convergence argument, batched).
+func TestRunBatchConvergesToNE(t *testing.T) {
+	specs := batchSpecs(t)
+	got, err := RunBatch(specs, engine.Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Converged != len(specs) {
+		t.Fatalf("converged %d/%d", got.Converged, len(specs))
+	}
+	for r, res := range got.Runs {
+		ne, err := specs[r].Game.IsNashEquilibrium(res.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ne {
+			t.Fatalf("run %d did not land on a NE:\n%v", r, res.Alloc)
+		}
+	}
+}
+
+// TestRunBatchValidation rejects malformed specs and surfaces run errors.
+func TestRunBatchValidation(t *testing.T) {
+	g, err := core.NewGame(3, 3, 2, ratefn.NewTDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBatch([]RunSpec{{Game: nil}}); err == nil {
+		t.Fatal("nil game should error")
+	}
+	if _, err := RunBatch([]RunSpec{{Game: g}}); err == nil {
+		t.Fatal("nil policy factory should error")
+	}
+	if _, err := RunBatch([]RunSpec{{Game: g, Policies: func(*des.RNG) ([]Policy, error) {
+		return nil, fmt.Errorf("factory boom")
+	}}}); err == nil {
+		t.Fatal("factory error should surface")
+	}
+	// Wrong policy count fails inside RunLocal and must surface with the
+	// run index attached.
+	_, err = RunBatch([]RunSpec{{Game: g, Policies: func(*des.RNG) ([]Policy, error) {
+		return UniformPolicies(1, func(int) Policy { return &GreedyPolicy{} }), nil
+	}}})
+	if err == nil {
+		t.Fatal("policy-count mismatch should error")
+	}
+	// An empty batch is a valid no-op.
+	res, err := RunBatch(nil)
+	if err != nil || len(res.Runs) != 0 {
+		t.Fatalf("empty batch: %+v, %v", res, err)
+	}
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/des"
+)
+
+// TestMain lets the test binary double as the worker binary: when the
+// Process backend re-execs it with WorkerEnv set, it serves jobs instead of
+// running tests. Task registrations live in init functions, so they are in
+// place for both roles.
+func TestMain(m *testing.M) {
+	RunWorkerIfRequested()
+	os.Exit(m.Run())
+}
+
+// confParams parameterises the conformance tasks.
+type confParams struct {
+	Mul   uint64 `json:"mul"`
+	Label string `json:"label"`
+}
+
+// confResult is what the conformance tasks produce per job.
+type confResult struct {
+	Job   int    `json:"job"`
+	Acc   uint64 `json:"acc"`
+	Label string `json:"label"`
+}
+
+func init() {
+	// conformance/draw consumes a job-dependent amount of the PRNG stream —
+	// the digest only matches across backends if seeds derive from
+	// (root, job) alone.
+	MustRegisterTask("conformance/draw", func(params json.RawMessage, job int, rng *des.RNG) (any, error) {
+		var p confParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		var acc uint64
+		for i := 0; i <= job%7; i++ {
+			acc = acc*p.Mul + rng.Uint64()
+		}
+		return confResult{Job: job, Acc: acc, Label: p.Label}, nil
+	})
+	// conformance/fail errors on every job with index ≡ 3 (mod 5); the
+	// batch must surface job 3's error on every backend, worded identically.
+	MustRegisterTask("conformance/fail", func(params json.RawMessage, job int, rng *des.RNG) (any, error) {
+		if job%5 == 3 {
+			return nil, fmt.Errorf("job %d boom", job)
+		}
+		return confResult{Job: job}, nil
+	})
+}
+
+// conformanceBackends enumerates every backend implementation with a few
+// pool/shard shapes each. Process shapes stay small: each entry spawns that
+// many subprocesses.
+func conformanceBackends() []struct {
+	desc    string
+	backend Backend
+	opts    []Option
+} {
+	return []struct {
+		desc    string
+		backend Backend
+		opts    []Option
+	}{
+		{"inprocess/workers=1", NewInProcess(), []Option{Workers(1)}},
+		{"inprocess/workers=4", NewInProcess(), []Option{Workers(4)}},
+		{"process/shards=1", NewProcess(1), nil},
+		{"process/shards=3", NewProcess(3), nil},
+	}
+}
+
+// TestBackendConformanceResults is the Backend contract: for a fixed root
+// seed, every backend produces byte-identical JSON results.
+func TestBackendConformanceResults(t *testing.T) {
+	const n = 23
+	params, err := json.Marshal(confParams{Mul: 31, Label: "conf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base []json.RawMessage
+	var baseDesc string
+	for _, bc := range conformanceBackends() {
+		t.Run(bc.desc, func(t *testing.T) {
+			got, stats, err := bc.backend.RunTask("conformance/draw", params, n,
+				append(bc.opts, Seed(42))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n || stats.Jobs != n {
+				t.Fatalf("got %d results, stats %+v, want %d jobs", len(got), stats, n)
+			}
+			if base == nil {
+				base, baseDesc = got, bc.desc
+				return
+			}
+			for job := range got {
+				if !bytes.Equal(base[job], got[job]) {
+					t.Fatalf("job %d differs from %s:\n%s\nvs\n%s",
+						job, baseDesc, base[job], got[job])
+				}
+			}
+		})
+	}
+}
+
+// TestBackendConformanceError pins the failure contract: every backend
+// surfaces the lowest-indexed failing job's error, worded identically, with
+// nil results.
+func TestBackendConformanceError(t *testing.T) {
+	const want = "engine: job 3: job 3 boom"
+	for _, bc := range conformanceBackends() {
+		t.Run(bc.desc, func(t *testing.T) {
+			got, _, err := bc.backend.RunTask("conformance/fail", []byte("{}"), 17,
+				append(bc.opts, Seed(42))...)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if err.Error() != want {
+				t.Fatalf("error %q, want %q", err.Error(), want)
+			}
+			if got != nil {
+				t.Fatalf("results must be nil on failure, got %v", got)
+			}
+		})
+	}
+}
+
+// TestBackendConformanceUnknownTask: resolving an unregistered task fails
+// the same way on every backend, before any work is dispatched.
+func TestBackendConformanceUnknownTask(t *testing.T) {
+	for _, bc := range conformanceBackends() {
+		t.Run(bc.desc, func(t *testing.T) {
+			if _, _, err := bc.backend.RunTask("conformance/nope", nil, 3, bc.opts...); err == nil {
+				t.Fatal("unknown task should error")
+			}
+		})
+	}
+}
+
+// TestBackendConformanceEmptyBatch: zero jobs succeed with empty results on
+// every backend.
+func TestBackendConformanceEmptyBatch(t *testing.T) {
+	for _, bc := range conformanceBackends() {
+		t.Run(bc.desc, func(t *testing.T) {
+			got, stats, err := bc.backend.RunTask("conformance/draw", []byte(`{"mul":1}`), 0, bc.opts...)
+			if err != nil || len(got) != 0 || got == nil || stats.Workers != 0 {
+				t.Fatalf("empty batch: got=%v stats=%+v err=%v", got, stats, err)
+			}
+		})
+	}
+}
+
+// TestRunTaskTyped exercises the typed helper end to end on both backends,
+// including that process results decode into the same structs the
+// in-process pool yields.
+func TestRunTaskTyped(t *testing.T) {
+	const n = 9
+	want, _, err := RunTask[confResult](NewInProcess(), "conformance/draw",
+		confParams{Mul: 31, Label: "typed"}, n, Seed(7), Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := RunTask[confResult](NewProcess(2), "conformance/draw",
+		confParams{Mul: 31, Label: "typed"}, n, Seed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job := range want {
+		if want[job] != got[job] {
+			t.Fatalf("job %d: inprocess %+v, process %+v", job, want[job], got[job])
+		}
+		if want[job].Job != job || want[job].Label != "typed" {
+			t.Fatalf("job %d carries wrong identity: %+v", job, want[job])
+		}
+	}
+	if _, _, err := RunTask[confResult](nil, "conformance/draw", nil, 1); err == nil {
+		t.Fatal("nil backend should error")
+	}
+	if _, _, err := RunTask[confResult](NewInProcess(), "conformance/draw",
+		make(chan int), 1); err == nil {
+		t.Fatal("unencodable params should error")
+	}
+}
+
+// TestProcessBackendMatchesMap pins the tentpole guarantee at the Map
+// surface: engine.Map over the in-process pool and the multi-process
+// backend running the same task produce byte-identical results for a fixed
+// root seed.
+func TestProcessBackendMatchesMap(t *testing.T) {
+	const n, root = 23, 42
+	params := confParams{Mul: 31, Label: "conf"}
+	// The task body, run directly through Map (the closure path).
+	fromMap, _, err := Map(n, func(job int, rng *des.RNG) (confResult, error) {
+		var acc uint64
+		for i := 0; i <= job%7; i++ {
+			acc = acc*params.Mul + rng.Uint64()
+		}
+		return confResult{Job: job, Acc: acc, Label: params.Label}, nil
+	}, Seed(root), Workers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromProcess, _, err := RunTask[confResult](NewProcess(3), "conformance/draw", params, n, Seed(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job := range fromMap {
+		if fromMap[job] != fromProcess[job] {
+			t.Fatalf("job %d: Map %+v, process backend %+v", job, fromMap[job], fromProcess[job])
+		}
+	}
+}

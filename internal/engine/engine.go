@@ -4,7 +4,14 @@
 // batch produces byte-identical results whether it runs on one worker or
 // sixty-four — parallelism changes wall-clock time, never output. This is
 // the substrate under every batch path in the repository: NE enumeration
-// shards, dynamics replicates and the experiment suite of cmd/sweep.
+// shards, dynamics replicates, batched distributed-protocol runs and the
+// experiment suite of cmd/sweep.
+//
+// The fan-out/fan-in contract is pluggable (see Backend): Map and ForEach
+// run closures over the default in-process pool, while registered tasks
+// (RegisterTask) can run over any backend — the same pool (InProcess) or
+// worker subprocesses sharded by the Process backend — with byte-identical
+// results, because job seeds depend only on (root seed, job index).
 package engine
 
 import (
@@ -60,6 +67,10 @@ func Seed(seed uint64) Option {
 	return func(c *config) { c.seed = seed }
 }
 
+// defaultWorkers is the pool (and shard) size when the caller does not fix
+// one: every CPU.
+func defaultWorkers() int { return runtime.NumCPU() }
+
 // JobSeed derives the seed of one job's PRNG stream from the root seed.
 // The derivation depends only on (root, job) — never on worker identity or
 // scheduling — which is what makes engine batches reproducible. The root is
@@ -83,7 +94,7 @@ func Map[T any](n int, fn func(job int, rng *des.RNG) (T, error), opts ...Option
 		opt(&cfg)
 	}
 	if cfg.workers < 1 {
-		cfg.workers = runtime.NumCPU()
+		cfg.workers = defaultWorkers()
 	}
 	if cfg.workers > n {
 		cfg.workers = n

@@ -106,6 +106,67 @@ func TestMapEdgeCases(t *testing.T) {
 	}
 }
 
+// TestWorkersOptionEdgeCases pins the pool-sizing contract: workers < 1
+// (explicitly or by default) means NumCPU, and the pool never exceeds the
+// job count.
+func TestWorkersOptionEdgeCases(t *testing.T) {
+	big := 4 * runtime.NumCPU()
+	for _, workers := range []int{0, -1, -100} {
+		_, stats, err := Map(big, func(job int, rng *des.RNG) (int, error) {
+			return job, nil
+		}, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Workers != runtime.NumCPU() {
+			t.Fatalf("Workers(%d): pool size %d, want NumCPU=%d",
+				workers, stats.Workers, runtime.NumCPU())
+		}
+	}
+	// Default (no option) is NumCPU too.
+	_, stats, err := Map(big, func(job int, rng *des.RNG) (int, error) { return job, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != runtime.NumCPU() {
+		t.Fatalf("default pool size %d, want NumCPU=%d", stats.Workers, runtime.NumCPU())
+	}
+	// A pool larger than the batch clamps to the job count.
+	_, stats, err = Map(3, func(job int, rng *des.RNG) (int, error) { return job, nil }, Workers(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 3 {
+		t.Fatalf("pool size %d for 3 jobs, want 3", stats.Workers)
+	}
+}
+
+// TestZeroJobsEdgeCases: an empty batch succeeds with empty (non-nil)
+// results and a zero-worker stats report, for Map, ForEach and option
+// combinations alike.
+func TestZeroJobsEdgeCases(t *testing.T) {
+	out, stats, err := Map(0, func(job int, rng *des.RNG) (int, error) {
+		t.Error("job function must not run for an empty batch")
+		return 0, nil
+	}, Workers(-2), Seed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || len(out) != 0 {
+		t.Fatalf("want empty non-nil results, got %v", out)
+	}
+	if stats.Workers != 0 || stats.Jobs != 0 || len(stats.JobTimes) != 0 {
+		t.Fatalf("empty-batch stats %+v", stats)
+	}
+	if stats.TotalJobTime() != 0 {
+		t.Fatalf("empty batch accumulated job time %v", stats.TotalJobTime())
+	}
+	fstats, err := ForEach(0, func(job int, rng *des.RNG) error { return nil })
+	if err != nil || fstats.Jobs != 0 {
+		t.Fatalf("ForEach empty batch: stats=%+v err=%v", fstats, err)
+	}
+}
+
 // TestForEach checks the no-result wrapper visits every job exactly once.
 // Run with -race this also exercises the pool's synchronisation.
 func TestForEach(t *testing.T) {

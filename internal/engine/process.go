@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Process is the multi-process Backend: a coordinator that shards a task
+// batch over worker subprocesses. Each shard is the current binary
+// re-exec'd with WorkerEnv set (see RunWorkerIfRequested), speaking
+// newline-delimited JSON over its stdio. Because every job's PRNG seed is
+// derived by the coordinator as JobSeed(root, job) and shipped in the job
+// frame, the shards produce exactly the bytes the in-process pool would —
+// which shard ran a job, and in what order, never shows in the results.
+type Process struct {
+	shards  int
+	command func() *exec.Cmd
+}
+
+// ProcessOption configures a Process backend.
+type ProcessOption func(*Process)
+
+// WithWorkerCommand overrides how worker subprocesses are started (the
+// default re-execs the current binary with WorkerEnv set). The command's
+// environment must make RunWorkerIfRequested trigger in the child, and the
+// child must have the batch's tasks registered.
+func WithWorkerCommand(command func() *exec.Cmd) ProcessOption {
+	return func(p *Process) { p.command = command }
+}
+
+// NewProcess builds a multi-process backend with the given shard count
+// (worker subprocesses); shards < 1 means GOMAXPROCS-many via the same
+// default as the in-process pool.
+func NewProcess(shards int, opts ...ProcessOption) *Process {
+	p := &Process{shards: shards, command: selfWorkerCommand}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// selfWorkerCommand re-execs the current binary as a worker.
+func selfWorkerCommand() *exec.Cmd {
+	exe, err := os.Executable()
+	if err != nil {
+		// Surfaces as a spawn error when the command runs.
+		exe = os.Args[0]
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+// Name implements Backend.
+func (p *Process) Name() string { return "process" }
+
+// shard is one live worker subprocess with JSON framing over its stdio.
+type shard struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	enc   *json.Encoder
+	dec   *json.Decoder
+}
+
+// start spawns one worker subprocess.
+func (p *Process) start() (*shard, error) {
+	cmd := p.command()
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("opening worker stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("opening worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting worker: %w", err)
+	}
+	return &shard{
+		cmd:   cmd,
+		stdin: stdin,
+		enc:   json.NewEncoder(stdin),
+		dec:   json.NewDecoder(stdout),
+	}, nil
+}
+
+// runJob executes one job on the shard, lock-step: send the frame, await
+// the matching reply.
+func (s *shard) runJob(m *wireMsg) (*wireMsg, error) {
+	if err := s.enc.Encode(m); err != nil {
+		return nil, fmt.Errorf("sending job %d: %w", m.Job, err)
+	}
+	var reply wireMsg
+	if err := s.dec.Decode(&reply); err != nil {
+		return nil, fmt.Errorf("awaiting result of job %d: %w", m.Job, err)
+	}
+	if reply.Type != wireResult || reply.Job != m.Job {
+		return nil, fmt.Errorf("got frame %q for job %d, want result of job %d",
+			reply.Type, reply.Job, m.Job)
+	}
+	return &reply, nil
+}
+
+// shutdown closes the job stream and reaps the subprocess.
+func (s *shard) shutdown() error {
+	s.stdin.Close()
+	return s.cmd.Wait()
+}
+
+// RunTask implements Backend: fan the batch's jobs out over the worker
+// subprocesses (dynamic dispatch off a shared counter, exactly like the
+// in-process pool) and fan the JSON results in by job index. Job errors
+// surface with Map's semantics — every job still runs, then the
+// lowest-indexed failure is returned with nil results, worded identically
+// to the in-process backend. Transport failures (a worker dying, a broken
+// pipe) surface as distinct "process backend" errors instead.
+func (p *Process) RunTask(task string, params json.RawMessage, n int, opts ...Option) ([]json.RawMessage, Stats, error) {
+	cfg := config{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if _, ok := taskByName(task); !ok {
+		return nil, Stats{}, fmt.Errorf("engine: unknown task %q (registered: %v)", task, TaskNames())
+	}
+	shards := p.shards
+	if shards < 1 {
+		shards = defaultWorkers()
+	}
+	if shards > n {
+		shards = n
+	}
+	stats := Stats{Workers: shards, Jobs: n}
+	if n < 0 {
+		return nil, stats, fmt.Errorf("engine: negative job count %d", n)
+	}
+	if n == 0 {
+		stats.Workers = 0
+		return []json.RawMessage{}, stats, nil
+	}
+
+	start := time.Now()
+	results := make([]json.RawMessage, n)
+	errs := make([]string, n)
+	failed := make([]bool, n)
+	stats.JobTimes = make([]time.Duration, n)
+	infraErrs := make([]error, shards)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh, err := p.start()
+			if err != nil {
+				infraErrs[w] = err
+				return
+			}
+			for {
+				job := int(next.Add(1) - 1)
+				if job >= n {
+					break
+				}
+				jobStart := time.Now()
+				reply, err := sh.runJob(&wireMsg{
+					Type:   wireJob,
+					Job:    job,
+					Task:   task,
+					Params: params,
+					Seed:   JobSeed(cfg.seed, job),
+				})
+				stats.JobTimes[job] = time.Since(jobStart)
+				if err != nil {
+					infraErrs[w] = err
+					sh.shutdown()
+					return
+				}
+				if reply.Error != "" {
+					errs[job] = reply.Error
+					failed[job] = true
+					continue
+				}
+				results[job] = reply.Value
+			}
+			if err := sh.shutdown(); err != nil {
+				infraErrs[w] = fmt.Errorf("worker exit: %w", err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start)
+	// Transport failures first: a dead shard means its in-flight job never
+	// ran, so the batch did NOT honour the every-job-runs contract and the
+	// crash must not be masked by an ordinary job error elsewhere.
+	for w, err := range infraErrs {
+		if err != nil {
+			return nil, stats, fmt.Errorf("engine: process backend shard %d: %w", w, err)
+		}
+	}
+	for job, msg := range errs {
+		if failed[job] {
+			return nil, stats, fmt.Errorf("engine: job %d: %s", job, msg)
+		}
+	}
+	// A dead shard's unclaimed jobs stay unexecuted; make sure none slipped
+	// through silently (every job must have a result or a recorded error).
+	for job, res := range results {
+		if res == nil && !failed[job] {
+			return nil, stats, fmt.Errorf("engine: process backend lost job %d", job)
+		}
+	}
+	return results, stats, nil
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/multiradio/chanalloc/internal/des"
+)
+
+// TaskFunc runs one job of a named task. params is the batch-wide parameter
+// blob (the same bytes for every job), job is the index within the batch and
+// rng is the job's private PRNG stream seeded by JobSeed(root, job). The
+// returned value must be JSON-serialisable: it crosses process boundaries
+// under the multi-process backend.
+//
+// A TaskFunc must derive all of its randomness from rng and all of its
+// inputs from (params, job) — that, and nothing else, is what makes a task
+// batch produce byte-identical results on every backend.
+type TaskFunc func(params json.RawMessage, job int, rng *des.RNG) (any, error)
+
+var (
+	taskMu sync.RWMutex
+	tasks  = map[string]TaskFunc{}
+)
+
+// RegisterTask adds a named task to the process-global task registry. Tasks
+// are how work crosses the Backend interface: closures cannot be shipped to
+// a worker subprocess, so a batch names a registered task and sends its
+// parameters as JSON. The same task must be registered in the coordinator
+// and in the worker binary (with re-exec'd workers they are the same
+// program, so one registration site covers both). Names must be non-empty
+// and unique; a '/'-separated prefix ("sweep/experiment") is conventional.
+func RegisterTask(name string, fn TaskFunc) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("engine: empty task name")
+	}
+	if fn == nil {
+		return fmt.Errorf("engine: task %q has no function", name)
+	}
+	taskMu.Lock()
+	defer taskMu.Unlock()
+	if _, dup := tasks[name]; dup {
+		return fmt.Errorf("engine: task %q already registered", name)
+	}
+	tasks[name] = fn
+	return nil
+}
+
+// MustRegisterTask is RegisterTask for program-init registrations, where a
+// failure is a programming error.
+func MustRegisterTask(name string, fn TaskFunc) {
+	if err := RegisterTask(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// TaskNames lists the registered tasks in sorted order (diagnostics and
+// worker handshake checks).
+func TaskNames() []string {
+	taskMu.RLock()
+	defer taskMu.RUnlock()
+	out := make([]string, 0, len(tasks))
+	for name := range tasks {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// taskByName resolves a registered task.
+func taskByName(name string) (TaskFunc, bool) {
+	taskMu.RLock()
+	defer taskMu.RUnlock()
+	fn, ok := tasks[name]
+	return fn, ok
+}

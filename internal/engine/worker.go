@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/multiradio/chanalloc/internal/des"
+)
+
+// WorkerEnv is the environment marker that switches a re-exec'd binary into
+// engine-worker mode: when set (to any non-empty value), the process serves
+// task jobs over stdin/stdout instead of running its normal main. Host
+// programs opt in by calling RunWorkerIfRequested before doing anything
+// else; the Process backend sets the marker when it spawns shards.
+const WorkerEnv = "CHANALLOC_ENGINE_WORKER"
+
+// Wire frame kinds of the coordinator<->worker protocol. Every frame is one
+// JSON object on one line (the newline-delimited JSON idiom of
+// internal/dist); unknown fields are ignored so the protocol can grow.
+const (
+	wireJob    = "job"    // coordinator -> worker: one task job to run
+	wireResult = "result" // worker -> coordinator: the job's value or error
+)
+
+// wireMsg is the single frame type of the worker protocol; fields are
+// populated according to Type.
+type wireMsg struct {
+	Type string `json:"type"`
+	// job and result
+	Job int `json:"job"`
+	// job
+	Task   string          `json:"task,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	Seed   uint64          `json:"seed,omitempty"`
+	// result
+	Value json.RawMessage `json:"value,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// RunWorkerIfRequested turns the current process into an engine worker when
+// WorkerEnv is set: it serves jobs on stdin/stdout until the coordinator
+// closes the pipe, then exits. Call it first thing in main (after task
+// registrations, which conventionally live in init functions) — it does
+// nothing and returns immediately in a normal run.
+func RunWorkerIfRequested() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "engine worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// ServeWorker runs the worker end of the protocol: decode one job frame,
+// run the named registered task with a PRNG seeded by the frame's seed
+// (derived by the coordinator as JobSeed(root, job)), reply with the
+// JSON-encoded value or the error text, repeat until EOF. Job failures are
+// replies, not transport failures — the worker keeps serving, which is what
+// lets a batch run every job even when some fail, exactly like the
+// in-process pool.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(r)
+	enc := json.NewEncoder(w)
+	for {
+		var m wireMsg
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("decoding job frame: %w", err)
+		}
+		if m.Type != wireJob {
+			return fmt.Errorf("unexpected frame %q, want %q", m.Type, wireJob)
+		}
+		reply := wireMsg{Type: wireResult, Job: m.Job}
+		if fn, ok := taskByName(m.Task); !ok {
+			reply.Error = fmt.Sprintf("unknown task %q (registered: %v)", m.Task, TaskNames())
+		} else if out, err := fn(m.Params, m.Job, des.NewRNG(m.Seed)); err != nil {
+			reply.Error = err.Error()
+		} else if value, err := json.Marshal(out); err != nil {
+			reply.Error = fmt.Sprintf("encoding result: %v", err)
+		} else {
+			reply.Value = value
+		}
+		if err := enc.Encode(&reply); err != nil {
+			return fmt.Errorf("sending result for job %d: %w", m.Job, err)
+		}
+	}
+}

@@ -199,6 +199,50 @@ func Algorithm1(g *Game, tie core.TieBreak, seed uint64) (*core.Alloc, error) {
 	return a, nil
 }
 
+// OptimalWelfareAllPlaced computes the maximum achievable total rate over
+// load vectors that place all Σ_i k_i radios — the heterogeneous analogue
+// of the uniform-budget all-placed welfare benchmark (full deployment
+// remains necessary for NE under positive constant rates, so this is the
+// natural denominator for a heterogeneous price of anarchy). It returns the
+// optimum and one optimising load vector.
+func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
+	total := 0
+	for _, k := range g.budgets {
+		total += k
+	}
+	return core.OptimalLoadWelfare(g.rate, g.channels, total)
+}
+
+// OptimalWelfareIdleAllowed computes the maximum total rate when radios may
+// be left idle: light up min(|C|, Σ_i k_i) channels with one radio each
+// (R is non-increasing with R(1) maximal).
+func OptimalWelfareIdleAllowed(g *Game) (float64, []int) {
+	total := 0
+	for _, k := range g.budgets {
+		total += k
+	}
+	lit := g.channels
+	if total < lit {
+		lit = total
+	}
+	loads := make([]int, g.channels)
+	for c := 0; c < lit; c++ {
+		loads[c] = 1
+	}
+	return float64(lit) * g.rate.Rate(1), loads
+}
+
+// PriceOfAnarchy returns Welfare(a) / OptimalWelfareAllPlaced — 1 means the
+// allocation is system-optimal among full deployments. Errors on a
+// degenerate (non-positive) optimum.
+func PriceOfAnarchy(g *Game, a *core.Alloc) (float64, error) {
+	opt, _ := OptimalWelfareAllPlaced(g)
+	if opt <= 0 {
+		return 0, fmt.Errorf("hetero: degenerate optimum %v; rate function is zero everywhere", opt)
+	}
+	return g.Welfare(a) / opt, nil
+}
+
 // LoadBalanced reports whether max and min channel loads differ by at most
 // one (the generalised Proposition 1 property).
 func LoadBalanced(a *core.Alloc) bool {

@@ -320,3 +320,95 @@ func TestAlgorithm1HeteroOrderMatters(t *testing.T) {
 		t.Fatal("not NE with big user last")
 	}
 }
+
+func TestOptimalWelfareAllPlaced(t *testing.T) {
+	// 4 channels, budgets 2+1+1 = 4 radios, constant R: the optimum spreads
+	// one radio per channel, welfare 4·R(1).
+	g := mustGame(t, 4, []int{2, 1, 1}, ratefn.NewTDMA(1))
+	opt, loads := OptimalWelfareAllPlaced(g)
+	if opt != 4 {
+		t.Fatalf("optimum %v, want 4", opt)
+	}
+	placed := 0
+	for _, l := range loads {
+		placed += l
+	}
+	if placed != 4 {
+		t.Fatalf("optimising loads place %d radios, want 4", placed)
+	}
+	// More radios than channels under sharp decay: the DP must still place
+	// everything and agree with the uniform-budget DP on the same totals.
+	h := ratefn.Harmonic{R0: 1, Alpha: 1}
+	gh := mustGame(t, 3, []int{3, 2, 1}, h) // 6 radios over 3 channels
+	optH, loadsH := OptimalWelfareAllPlaced(gh)
+	gu, err := core.NewGame(3, 3, 2, h) // same 6 radios over 3 channels
+	if err != nil {
+		t.Fatal(err)
+	}
+	optU, _ := core.OptimalWelfareAllPlaced(gu)
+	if optH != optU {
+		t.Fatalf("hetero optimum %v disagrees with uniform DP %v on equal totals", optH, optU)
+	}
+	placed = 0
+	for _, l := range loadsH {
+		placed += l
+	}
+	if placed != 6 {
+		t.Fatalf("optimising loads place %d radios, want 6", placed)
+	}
+}
+
+func TestOptimalWelfareIdleAllowed(t *testing.T) {
+	// 8 channels, 4 radios: light 4 channels.
+	g := mustGame(t, 8, []int{2, 1, 1}, ratefn.NewTDMA(1))
+	opt, loads := OptimalWelfareIdleAllowed(g)
+	if opt != 4 {
+		t.Fatalf("optimum %v, want 4", opt)
+	}
+	lit := 0
+	for _, l := range loads {
+		if l == 1 {
+			lit++
+		} else if l != 0 {
+			t.Fatalf("idle-allowed loads must be 0/1, got %v", loads)
+		}
+	}
+	if lit != 4 {
+		t.Fatalf("%d channels lit, want 4", lit)
+	}
+	// 2 channels, 5 radios: every channel lit.
+	g2 := mustGame(t, 2, []int{2, 2, 1}, ratefn.NewTDMA(1))
+	if opt2, _ := OptimalWelfareIdleAllowed(g2); opt2 != 2 {
+		t.Fatalf("optimum %v, want 2", opt2)
+	}
+}
+
+func TestHeteroPriceOfAnarchy(t *testing.T) {
+	// The sequential greedy NE is welfare-optimal under constant R whenever
+	// total radios exceed channels (every channel stays lit).
+	g := mustGame(t, 4, []int{4, 2, 1}, ratefn.NewTDMA(1))
+	a, err := Algorithm1(g, core.TieFirst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poa, err := PriceOfAnarchy(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa != 1 {
+		t.Fatalf("constant-R PoA %v, want 1", poa)
+	}
+	// Under decaying R the NE stays within (0, 1] of the optimum.
+	gh := mustGame(t, 4, []int{4, 2, 1}, ratefn.Harmonic{R0: 1, Alpha: 0.5})
+	ah, err := Algorithm1(gh, core.TieFirst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poaH, err := PriceOfAnarchy(gh, ah)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poaH <= 0 || poaH > 1 {
+		t.Fatalf("harmonic PoA %v outside (0, 1]", poaH)
+	}
+}

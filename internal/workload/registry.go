@@ -147,6 +147,11 @@ func init() {
 		Description: "heterogeneous radio budgets k_i over C channels (beyond the paper's uniform k)",
 	}, generateHetero)
 	mustRegister(Family{
+		Name:        "bistritz",
+		Usage:       "bistritz:N,C[,seed]",
+		Description: "N single-radio users over C >= N channels, random start; interference-free target regime (arXiv:1603.03956)",
+	}, generateBistritz)
+	mustRegister(Family{
 		Name:        "mesh",
 		Usage:       "mesh[:routers,channels,radios]",
 		Description: "mesh-backhaul routers in one collision domain, naive static start pinned",
@@ -200,6 +205,50 @@ func generateRandom(params string, r ratefn.Func) (*Scenario, error) {
 		Name: fmt.Sprintf("random:%d,%d,%d,%d", vals[0], vals[1], vals[2], seed),
 		Description: fmt.Sprintf(
 			"random start: |N|=%d, |C|=%d, k=%d, seed %d", vals[0], vals[1], vals[2], seed),
+		Game:  g,
+		Alloc: dynamics.RandomAlloc(g, seed),
+	}, nil
+}
+
+// generateBistritz builds the bistritz:N,C[,seed] family after Bistritz &
+// Leshem's large-scale distributed allocation setting (arXiv:1603.03956):
+// N users with a single radio each over C >= N channels, so an
+// interference-free allocation — every user alone on its own channel — is
+// feasible and is exactly the Nash-equilibrium target the game's dynamics
+// should reach. The pinned start is a seeded uniformly random placement,
+// collisions included.
+func generateBistritz(params string, r ratefn.Func) (*Scenario, error) {
+	vals, err := parseInts(params)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != 2 && len(vals) != 3 {
+		return nil, fmt.Errorf("want bistritz:N,C[,seed], got %d parameters", len(vals))
+	}
+	users, channels := vals[0], vals[1]
+	if users < 1 {
+		return nil, fmt.Errorf("want >= 1 users, got %d", users)
+	}
+	if channels < users {
+		return nil, fmt.Errorf(
+			"interference-free target regime needs C >= N channels, got N=%d C=%d", users, channels)
+	}
+	seed := uint64(1)
+	if len(vals) == 3 {
+		if vals[2] < 0 {
+			return nil, fmt.Errorf("negative seed %d", vals[2])
+		}
+		seed = uint64(vals[2])
+	}
+	g, err := core.NewGame(users, channels, 1, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Name: fmt.Sprintf("bistritz:%d,%d,%d", users, channels, seed),
+		Description: fmt.Sprintf(
+			"Bistritz-Leshem regime: %d single-radio users, %d channels, random start, seed %d",
+			users, channels, seed),
 		Game:  g,
 		Alloc: dynamics.RandomAlloc(g, seed),
 	}, nil

@@ -2,10 +2,12 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
 	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/dynamics"
 	"github.com/multiradio/chanalloc/internal/ratefn"
 )
 
@@ -83,6 +85,8 @@ func exampleName(family string) string {
 		return "random:5,4,2,9"
 	case "hetero":
 		return "hetero:5,3,2,2,1"
+	case "bistritz":
+		return "bistritz:4,6,3"
 	default:
 		return family
 	}
@@ -147,6 +151,54 @@ func TestRegistryIsOpen(t *testing.T) {
 // repeated runs in one process.
 var testRegistrations atomic.Int64
 
+// okGen is a trivially valid generator for registration-error tests.
+func okGen(string, ratefn.Func) (*Scenario, error) { return Figure5(ratefn.NewTDMA(1)) }
+
+// TestRegisterErrorPaths pins each registration failure mode separately:
+// duplicate names, names containing ':', empty names and nil generators
+// must all be rejected without corrupting the registry.
+func TestRegisterErrorPaths(t *testing.T) {
+	name := fmt.Sprintf("errpath-test-%d", testRegistrations.Add(1))
+	if err := Register(Family{Name: name, Usage: name, Description: "x"}, okGen); err != nil {
+		t.Fatal(err)
+	}
+	before := len(Names())
+
+	// Duplicate registration (with a perfectly valid generator).
+	if err := Register(Family{Name: name, Usage: name, Description: "dup"}, okGen); err == nil {
+		t.Error("duplicate registration should error")
+	}
+	// Name containing ':' collides with the parameter grammar.
+	if err := Register(Family{Name: "bad:" + name}, okGen); err == nil {
+		t.Error("name with ':' should be rejected")
+	}
+	// Empty name.
+	if err := Register(Family{Name: ""}, okGen); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	// Nil generator under a fresh name.
+	fresh := fmt.Sprintf("errpath-test-%d", testRegistrations.Add(1))
+	if err := Register(Family{Name: fresh, Usage: fresh, Description: "x"}, nil); err == nil {
+		t.Error("nil generator should be rejected")
+	}
+
+	// None of the failed registrations may have landed.
+	if got := len(Names()); got != before {
+		t.Fatalf("registry grew from %d to %d families on failed registrations", before, got)
+	}
+	// Unknown-family resolution names the known families.
+	_, err := ByName("definitely-not-registered:1,2", ratefn.NewTDMA(1))
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("unknown family error: %v", err)
+	}
+	// Malformed parameters surface the family's grammar error, prefixed
+	// with the requested name.
+	_, err = ByName("random:not,numbers,here", ratefn.NewTDMA(1))
+	if err == nil || !strings.Contains(err.Error(), "random:not,numbers,here") {
+		t.Fatalf("malformed-params error should cite the request: %v", err)
+	}
+}
+
 func TestParametricFamilies(t *testing.T) {
 	r := ratefn.NewTDMA(1)
 	s, err := ByName("random:6,5,3,7", r)
@@ -192,6 +244,73 @@ func TestParametricFamilies(t *testing.T) {
 	for _, bad := range []string{
 		"random:1,2", "random:x,2,1", "random", "hetero:5", "hetero",
 		"mesh:1,2", "cognitive:9", "fig1:3",
+	} {
+		if _, err := ByName(bad, r); err == nil {
+			t.Errorf("%q should not resolve", bad)
+		}
+	}
+}
+
+func TestBistritzFamily(t *testing.T) {
+	r := ratefn.NewTDMA(1)
+	s, err := ByName("bistritz:5,8,3", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Game.Users() != 5 || s.Game.Channels() != 8 || s.Game.Radios() != 1 {
+		t.Fatalf("dims %dx%dx%d, want 5x8x1",
+			s.Game.Users(), s.Game.Channels(), s.Game.Radios())
+	}
+	if s.Name != "bistritz:5,8,3" {
+		t.Fatalf("name %q not normalised", s.Name)
+	}
+	// The pinned start places every user's single radio.
+	if s.Alloc == nil || s.Alloc.TotalRadios() != 5 {
+		t.Fatalf("start must place all 5 radios: %v", s.Alloc)
+	}
+	// Same name, same bytes: the start is seed-deterministic.
+	s2, err := ByName("bistritz:5,8,3", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Alloc.Equal(s2.Alloc) {
+		t.Fatal("bistritz scenario is not reproducible")
+	}
+	// Seed defaults to 1 when omitted.
+	s3, err := ByName("bistritz:5,8", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Name != "bistritz:5,8,1" {
+		t.Fatalf("default-seed name %q, want bistritz:5,8,1", s3.Name)
+	}
+	// The target regime is reachable: best-response dynamics from the
+	// random start must land on an interference-free allocation (every
+	// lit channel holds exactly one radio — C >= N makes that the NE).
+	res, err := dynamics.RunBestResponse(s.Game, s.Alloc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("dynamics did not converge in the Bistritz regime")
+	}
+	for c := 0; c < s.Game.Channels(); c++ {
+		if load := res.Final.Load(c); load > 1 {
+			t.Fatalf("channel %d carries %d radios; the C >= N equilibrium is interference-free", c, load)
+		}
+	}
+}
+
+func TestBistritzParseErrors(t *testing.T) {
+	r := ratefn.NewTDMA(1)
+	for _, bad := range []string{
+		"bistritz",         // no parameters
+		"bistritz:4",       // missing channels
+		"bistritz:4,6,1,9", // too many parameters
+		"bistritz:x,6",     // malformed integer
+		"bistritz:0,4",     // no users
+		"bistritz:5,3",     // C < N breaks the interference-free regime
+		"bistritz:4,6,-2",  // negative seed
 	} {
 		if _, err := ByName(bad, r); err == nil {
 			t.Errorf("%q should not resolve", bad)
