@@ -1,0 +1,159 @@
+// Command benchdiff compares two BENCH_<date>.json reports (the artifacts
+// cmd/benchjson writes in CI) and flags ns/op regressions, closing the
+// benchmark-trajectory loop: every CI run diffs its numbers against the
+// previous run's artifact and annotates regressions without blocking the
+// build.
+//
+//	benchdiff old.json new.json                 # human-readable table
+//	benchdiff -threshold 0.1 old.json new.json  # flag >10% slowdowns
+//	benchdiff -annotate old.json new.json       # ::warning:: lines for CI
+//	benchdiff -fail old.json new.json           # exit 1 when flagged
+//
+// Benchmarks are matched by (name, procs). Entries present on only one
+// side are reported as added/removed, never flagged — a renamed benchmark
+// is not a regression. Exit status is 0 unless -fail is given and at least
+// one regression exceeds the threshold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Entry and Report mirror cmd/benchjson's JSON document (kept in sync by
+// the shared format test fixtures; only the fields benchdiff reads).
+type Entry struct {
+	Name    string  `json:"name"`
+	Procs   int     `json:"procs"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Report is the decoded BENCH_<date>.json document.
+type Report struct {
+	Date    string  `json:"date"`
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	regressions, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if regressions > 0 && failFlagged {
+		os.Exit(1)
+	}
+}
+
+// failFlagged records the -fail flag for main; run itself stays exit-free
+// for tests.
+var failFlagged bool
+
+// key identifies a benchmark across reports.
+type key struct {
+	name  string
+	procs int
+}
+
+func run(args []string, out io.Writer) (regressions int, err error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.20, "flag ns/op increases above this fraction (0.20 = +20%)")
+	annotate := fs.Bool("annotate", false, "emit GitHub ::warning:: annotations for regressions")
+	fail := fs.Bool("fail", false, "exit 1 when any regression exceeds the threshold")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	failFlagged = *fail
+	if fs.NArg() != 2 {
+		return 0, fmt.Errorf("want exactly two reports: benchdiff old.json new.json")
+	}
+	oldRep, err := readReport(fs.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := readReport(fs.Arg(1))
+	if err != nil {
+		return 0, err
+	}
+
+	oldBy := map[key]Entry{}
+	for _, e := range oldRep.Entries {
+		oldBy[key{e.Name, e.Procs}] = e
+	}
+	newBy := map[key]Entry{}
+	for _, e := range newRep.Entries {
+		newBy[key{e.Name, e.Procs}] = e
+	}
+	keys := make([]key, 0, len(oldBy)+len(newBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	for k := range newBy {
+		if _, dup := oldBy[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].procs < keys[j].procs
+	})
+
+	fmt.Fprintf(out, "benchdiff %s -> %s (threshold %+.0f%%)\n",
+		labelOr(oldRep.Date, fs.Arg(0)), labelOr(newRep.Date, fs.Arg(1)), *threshold*100)
+	for _, k := range keys {
+		oldE, inOld := oldBy[k]
+		newE, inNew := newBy[k]
+		name := fmt.Sprintf("%s-%d", k.name, k.procs)
+		switch {
+		case !inOld:
+			fmt.Fprintf(out, "  %-60s %14s %12.0f ns/op  (added)\n", name, "", newE.NsPerOp)
+		case !inNew:
+			fmt.Fprintf(out, "  %-60s %12.0f ns/op %12s  (removed)\n", name, oldE.NsPerOp, "")
+		case oldE.NsPerOp <= 0:
+			fmt.Fprintf(out, "  %-60s %12.0f -> %9.0f ns/op  (old is zero; skipped)\n", name, oldE.NsPerOp, newE.NsPerOp)
+		default:
+			delta := newE.NsPerOp/oldE.NsPerOp - 1
+			flag := ""
+			if delta > *threshold {
+				flag = "  REGRESSION"
+				regressions++
+				if *annotate {
+					fmt.Fprintf(out, "::warning title=bench regression::%s ns/op %+.1f%% (%.0f -> %.0f)\n",
+						name, delta*100, oldE.NsPerOp, newE.NsPerOp)
+				}
+			}
+			fmt.Fprintf(out, "  %-60s %12.0f -> %9.0f ns/op  %+7.1f%%%s\n",
+				name, oldE.NsPerOp, newE.NsPerOp, delta*100, flag)
+		}
+	}
+	fmt.Fprintf(out, "%d benchmark(s) compared, %d regression(s) above %+.0f%%\n",
+		len(keys), regressions, *threshold*100)
+	return regressions, nil
+}
+
+// readReport loads one BENCH_<date>.json document.
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("reading report: %w", err)
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// labelOr prefers the report's date stamp over its filename.
+func labelOr(date, path string) string {
+	if date != "" {
+		return date
+	}
+	return path
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport drops a minimal BENCH json fixture and returns its path.
+func writeReport(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldReport = `{
+  "date": "2026-07-27",
+  "entries": [
+    {"name": "EnumerateNEParallel/workers1", "procs": 16, "ns_per_op": 1000},
+    {"name": "Dist/n-2", "procs": 1, "ns_per_op": 500},
+    {"name": "Removed", "procs": 16, "ns_per_op": 50}
+  ]
+}`
+
+const newReport = `{
+  "date": "2026-07-28",
+  "entries": [
+    {"name": "EnumerateNEParallel/workers1", "procs": 16, "ns_per_op": 1300},
+    {"name": "Dist/n-2", "procs": 1, "ns_per_op": 590},
+    {"name": "Added", "procs": 16, "ns_per_op": 70}
+  ]
+}`
+
+func TestRunFlagsRegressions(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldReport)
+	newPath := writeReport(t, "new.json", newReport)
+	var b strings.Builder
+	regressions, err := run([]string{oldPath, newPath}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	// +30% ns/op crosses the default 20% threshold; +18% does not.
+	if regressions != 1 {
+		t.Fatalf("%d regressions, want 1:\n%s", regressions, got)
+	}
+	if !strings.Contains(got, "REGRESSION") || !strings.Contains(got, "+30.0%") {
+		t.Fatalf("regression not reported:\n%s", got)
+	}
+	if strings.Contains(got, "Dist/n-2-1  REGRESSION") {
+		t.Fatalf("+18%% wrongly flagged:\n%s", got)
+	}
+	if !strings.Contains(got, "(added)") || !strings.Contains(got, "(removed)") {
+		t.Fatalf("added/removed entries not reported:\n%s", got)
+	}
+	if !strings.Contains(got, "2026-07-27 -> 2026-07-28") {
+		t.Fatalf("date labels missing:\n%s", got)
+	}
+}
+
+func TestRunThresholdFlag(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldReport)
+	newPath := writeReport(t, "new.json", newReport)
+	var b strings.Builder
+	// At 10%, both slowdowns (+30%, +18%) are regressions.
+	regressions, err := run([]string{"-threshold", "0.10", oldPath, newPath}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 2 {
+		t.Fatalf("%d regressions at 10%%, want 2:\n%s", regressions, b.String())
+	}
+}
+
+func TestRunAnnotate(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldReport)
+	newPath := writeReport(t, "new.json", newReport)
+	var b strings.Builder
+	if _, err := run([]string{"-annotate", oldPath, newPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "::warning title=bench regression::EnumerateNEParallel/workers1-16") {
+		t.Fatalf("missing GitHub annotation:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	okPath := writeReport(t, "ok.json", oldReport)
+	badPath := writeReport(t, "bad.json", "{not json")
+	var b strings.Builder
+	if _, err := run([]string{okPath}, &b); err == nil {
+		t.Fatal("one argument should error")
+	}
+	if _, err := run([]string{okPath, badPath}, &b); err == nil {
+		t.Fatal("malformed report should error")
+	}
+	if _, err := run([]string{okPath, filepath.Join(t.TempDir(), "missing.json")}, &b); err == nil {
+		t.Fatal("missing report should error")
+	}
+	if _, err := run([]string{"-nope", okPath, okPath}, &b); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}

@@ -34,7 +34,9 @@ type Entry struct {
 	// without the -P GOMAXPROCS suffix.
 	Name string `json:"name"`
 	// Procs is the -P suffix: the GOMAXPROCS (worker parallelism) the
-	// benchmark ran with. 1 when the suffix is absent.
+	// benchmark ran with. 1 when the run carries no suffixes (GOMAXPROCS=1
+	// runs suffix no line, so a name's own trailing digits are kept — see
+	// resolveProcsSuffixes).
 	Procs int `json:"procs"`
 	// Iters is the measured iteration count.
 	Iters int64 `json:"iters"`
@@ -66,6 +68,8 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	date := fs.String("date", "", "date stamp for the report (e.g. 2026-07-28)")
+	procs := fs.Int("procs", 0,
+		"GOMAXPROCS the benchmarks ran with: strip exactly -<procs> name suffixes (1 strips none; 0 infers from the stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +84,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err := scanner.Err(); err != nil {
 		return fmt.Errorf("reading benchmark output: %w", err)
 	}
+	resolveProcsSuffixes(report.Entries, *procs)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(&report)
@@ -94,12 +99,6 @@ func parseLine(line string) (Entry, bool) {
 		return Entry{}, false
 	}
 	entry := Entry{Name: strings.TrimPrefix(fields[0], "Benchmark"), Procs: 1}
-	// Split the -P GOMAXPROCS suffix off the last path segment.
-	if i := strings.LastIndexByte(entry.Name, '-'); i >= 0 && !strings.Contains(entry.Name[i:], "/") {
-		if procs, err := strconv.Atoi(entry.Name[i+1:]); err == nil && procs > 0 {
-			entry.Name, entry.Procs = entry.Name[:i], procs
-		}
-	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Entry{}, false
@@ -127,4 +126,65 @@ func parseLine(line string) (Entry, bool) {
 		return Entry{}, false
 	}
 	return entry, true
+}
+
+// procsSuffix splits a trailing "-<digits>" GOMAXPROCS marker off the last
+// path segment of a benchmark name.
+func procsSuffix(name string) (base string, procs int, ok bool) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || strings.Contains(name[i:], "/") {
+		return name, 0, false
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0, false
+	}
+	return name[:i], procs, true
+}
+
+// resolveProcsSuffixes decides, for the whole stream at once, whether
+// trailing "-<digits>" on benchmark names are GOMAXPROCS markers to strip.
+// `go test` appends the marker to every benchmark when GOMAXPROCS > 1 (or a
+// -cpu list entry > 1) and to none when GOMAXPROCS is 1 — so a subtest name
+// that legitimately ends in digits (BenchmarkDist/n-2 under GOMAXPROCS=1)
+// only looks like a marker line by line, never stream-wide. The rules:
+//
+//   - every entry suffixed (GOMAXPROCS > 1, or -cpu without 1): strip each
+//     entry's own suffix;
+//   - mixed stream (-cpu list containing 1): strip a suffix only when its
+//     base name also appears unsuffixed in the stream — the cpu=1 twin that
+//     proves the trailing digits are a marker, not part of the name;
+//   - no suffixes at all: nothing to do.
+//
+// One shape stays genuinely ambiguous: a GOMAXPROCS=1 stream in which every
+// surviving name happens to end in digits (a -bench filter can produce one)
+// is byte-indistinguishable from a -cpu run of the base names. The
+// knownProcs hint (the -procs flag) resolves it: > 1 strips exactly
+// -<knownProcs> suffixes, 1 declares a suffix-less run and strips nothing.
+func resolveProcsSuffixes(entries []Entry, knownProcs int) {
+	if knownProcs == 1 {
+		return // GOMAXPROCS=1 runs carry no markers; every name is literal
+	}
+	if knownProcs > 1 {
+		for i := range entries {
+			if base, procs, ok := procsSuffix(entries[i].Name); ok && procs == knownProcs {
+				entries[i].Name, entries[i].Procs = base, procs
+			}
+		}
+		return
+	}
+	allSuffixed := true
+	bare := map[string]bool{}
+	for i := range entries {
+		if _, _, ok := procsSuffix(entries[i].Name); !ok {
+			allSuffixed = false
+			bare[entries[i].Name] = true
+		}
+	}
+	for i := range entries {
+		base, procs, ok := procsSuffix(entries[i].Name)
+		if ok && (allSuffixed || bare[base]) {
+			entries[i].Name, entries[i].Procs = base, procs
+		}
+	}
 }

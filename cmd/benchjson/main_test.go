@@ -6,8 +6,10 @@ import (
 	"testing"
 )
 
-// sample mimics a real `go test -bench` stream: headers, sub-benchmarks
-// with GOMAXPROCS suffixes, memory metrics, and trailers.
+// sample mimics a real `go test -bench` stream at GOMAXPROCS=16: headers,
+// sub-benchmarks, memory metrics, trailers — and, crucially, every
+// benchmark line carrying the -16 suffix, including a subtest whose own
+// name ends in digits.
 const sample = `goos: linux
 goarch: amd64
 pkg: github.com/multiradio/chanalloc
@@ -15,7 +17,7 @@ cpu: Example CPU @ 2.00GHz
 BenchmarkFigure1LemmaAudit-16         	  361010	      3246 ns/op
 BenchmarkEnumerateNEParallel/workers1-16  	      18	  63850033 ns/op	 1024 B/op	      12 allocs/op
 BenchmarkEnumerateNEParallel/workers16-16 	     100	  10485934 ns/op
-BenchmarkNoSuffix 	 5	 200 ns/op
+BenchmarkDist/n-2-16 	 5	 200 ns/op
 PASS
 ok  	github.com/multiradio/chanalloc	12.279s
 --- FAIL: TestSomething
@@ -55,9 +57,124 @@ func TestRunParsesBenchStream(t *testing.T) {
 	if report.Entries[2].Name != "EnumerateNEParallel/workers16" {
 		t.Fatalf("third entry wrong: %+v", report.Entries[2])
 	}
-	noSuffix := report.Entries[3]
-	if noSuffix.Name != "NoSuffix" || noSuffix.Procs != 1 || noSuffix.NsPerOp != 200 {
-		t.Fatalf("suffix-less entry wrong: %+v", noSuffix)
+	// The GOMAXPROCS marker is stripped even when the subtest's own name
+	// ends in digits: only the final -16 goes, Dist/n-2 stays.
+	digits := report.Entries[3]
+	if digits.Name != "Dist/n-2" || digits.Procs != 16 || digits.NsPerOp != 200 {
+		t.Fatalf("digit-suffixed subtest wrong: %+v", digits)
+	}
+}
+
+// sampleNoProcs is the same suite at GOMAXPROCS=1: no line carries a
+// marker, so a subtest name ending in -<digits> must survive intact — the
+// regression the per-line parser used to misparse into name "Dist/n" with
+// procs 2.
+const sampleNoProcs = `goos: linux
+goarch: amd64
+BenchmarkFigure1LemmaAudit 	  361010	      3246 ns/op
+BenchmarkDist/n-2 	 5	 200 ns/op
+PASS
+`
+
+func TestRunKeepsDigitNamesWithoutProcsSuffix(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, strings.NewReader(sampleNoProcs), &b); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal([]byte(b.String()), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Entries) != 2 {
+		t.Fatalf("%d entries, want 2: %+v", len(report.Entries), report.Entries)
+	}
+	if e := report.Entries[0]; e.Name != "Figure1LemmaAudit" || e.Procs != 1 {
+		t.Fatalf("plain entry wrong: %+v", e)
+	}
+	if e := report.Entries[1]; e.Name != "Dist/n-2" || e.Procs != 1 || e.NsPerOp != 200 {
+		t.Fatalf("digit-suffixed name must survive a GOMAXPROCS=1 run: %+v", e)
+	}
+}
+
+func TestResolveProcsSuffixes(t *testing.T) {
+	for _, tc := range []struct {
+		desc      string
+		names     []string
+		wantNames []string
+		wantProcs []int
+	}{
+		{
+			"all suffixed: strip",
+			[]string{"A-8", "B/sub-8", "Dist/n-2-8"},
+			[]string{"A", "B/sub", "Dist/n-2"},
+			[]int{8, 8, 8},
+		},
+		{
+			"one unsuffixed line without a twin: keep everything",
+			[]string{"A-8", "B"},
+			[]string{"A-8", "B"},
+			[]int{1, 1},
+		},
+		{
+			"cpu-list runs strip per line",
+			[]string{"A-2", "A-4"},
+			[]string{"A", "A"},
+			[]int{2, 4},
+		},
+		{
+			"-cpu 1,4: the bare twin proves A-4's suffix is a marker",
+			[]string{"A", "A-4", "Dist/n-2"},
+			[]string{"A", "A", "Dist/n-2"},
+			[]int{1, 4, 1},
+		},
+		{
+			"empty stream",
+			nil, nil, nil,
+		},
+	} {
+		entries := make([]Entry, len(tc.names))
+		for i, n := range tc.names {
+			entries[i] = Entry{Name: n, Procs: 1}
+		}
+		resolveProcsSuffixes(entries, 0)
+		for i := range entries {
+			if entries[i].Name != tc.wantNames[i] || entries[i].Procs != tc.wantProcs[i] {
+				t.Errorf("%s: entry %d = %+v, want name %q procs %d",
+					tc.desc, i, entries[i], tc.wantNames[i], tc.wantProcs[i])
+			}
+		}
+	}
+}
+
+// TestProcsHintResolvesAmbiguousStream covers the shape the inference
+// cannot decide: a GOMAXPROCS=1 stream where every surviving name ends in
+// digits (e.g. a -bench filter keeping only Dist/n-2 and Dist/n-4). The
+// -procs hint disambiguates in both directions.
+func TestProcsHintResolvesAmbiguousStream(t *testing.T) {
+	ambiguous := "BenchmarkDist/n-2 \t 5\t 200 ns/op\nBenchmarkDist/n-4 \t 5\t 300 ns/op\n"
+	parse := func(args ...string) []Entry {
+		t.Helper()
+		var b strings.Builder
+		if err := run(args, strings.NewReader(ambiguous), &b); err != nil {
+			t.Fatal(err)
+		}
+		var report Report
+		if err := json.Unmarshal([]byte(b.String()), &report); err != nil {
+			t.Fatal(err)
+		}
+		return report.Entries
+	}
+	// -procs 1: a suffix-less run, names are literal.
+	for i, e := range parse("-procs", "1") {
+		if want := []string{"Dist/n-2", "Dist/n-4"}[i]; e.Name != want || e.Procs != 1 {
+			t.Fatalf("-procs 1 entry %d = %+v, want %q procs 1", i, e, want)
+		}
+	}
+	// -procs 4: only the -4 suffix is a marker.
+	got := parse("-procs", "4")
+	if got[0].Name != "Dist/n-2" || got[0].Procs != 1 ||
+		got[1].Name != "Dist/n" || got[1].Procs != 4 {
+		t.Fatalf("-procs 4 entries = %+v", got)
 	}
 }
 

@@ -1,0 +1,57 @@
+// Command engineworker is a long-lived socket worker for the engine's
+// cross-machine backend: it listens on a TCP or unix-socket address,
+// answers the wire protocol's version handshake on every connection, and
+// serves jobs of the library's registered engine tasks (EXPERIMENTS.md
+// documents the protocol). Launch one per host, then point a coordinator
+// at them:
+//
+//	engineworker -listen :9000                 # on each worker host
+//	sweep -backend socket -addrs host1:9000,host2:9000
+//
+// The worker serves the tasks registered in its binary (engineworker
+// carries the library's registry — `engineworker -tasks` lists it, with
+// dist/ring serving distributed-protocol grids). Coordinators announce
+// their task in the handshake, so a worker missing it — or built at a
+// different protocol version — rejects the connection loudly instead of
+// misinterpreting frames. Task-registering programs can also be their own
+// workers: `sweep -listen :9000` serves the experiment suite's task the
+// same way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/multiradio/chanalloc"
+)
+
+func main() {
+	// Stdio worker mode (spawned by a -backend process coordinator) still
+	// works for this binary; in a normal run it is a no-op.
+	chanalloc.RunEngineWorkerIfRequested()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "engineworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("engineworker", flag.ContinueOnError)
+	listen := fs.String("listen", ":9000",
+		`address to serve on: "host:port", ":port", "unix:/path" or a bare socket path`)
+	tasks := fs.Bool("tasks", false, "list the tasks this worker can serve, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tasks {
+		for _, name := range chanalloc.EngineTaskNames() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
+	fmt.Fprintf(out, "engineworker: protocol v%d, serving %v on %s\n",
+		chanalloc.EngineProtocolVersion, chanalloc.EngineTaskNames(), *listen)
+	return chanalloc.EngineListenAndServe(*listen)
+}

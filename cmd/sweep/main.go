@@ -19,21 +19,29 @@
 //
 // The suite executes on the parallel experiment engine through a pluggable
 // backend: experiments run as jobs of a registered engine task, fanned out
-// either over the in-process pool (default) or over worker subprocesses
-// (-backend process -shards N; each shard is this binary re-exec'd in
-// engine-worker mode, speaking newline-delimited JSON over stdio). The
-// experiments' internal batch paths (seed sweeps, NE enumeration, dynamics
-// replicates, batched protocol rings) each fan out over their own
-// -workers-sized in-process pool — nested fan-out, so peak concurrency can
-// exceed -workers. All randomness derives from -seed through per-job PRNG
-// streams, so output — stdout and CSVs — is byte-identical for any -workers
-// value AND any backend/shard combination.
+// over the in-process pool (default), over worker subprocesses (-backend
+// process -shards N; each shard is this binary re-exec'd in engine-worker
+// mode, speaking newline-delimited JSON over stdio), or over socket workers
+// on other machines (-backend socket -addrs host:port,... — same wire
+// protocol, plus a version handshake per connection; see EXPERIMENTS.md
+// for the frame grammar). Socket workers are sweep binaries started with
+// -listen, so the experiment task is registered on both ends; note that
+// experiments write CSVs on the machine that runs them, so -out expects a
+// shared filesystem when peers are remote. The experiments' internal batch
+// paths (seed sweeps, NE enumeration, dynamics replicates, batched protocol
+// rings) each fan out over their own -workers-sized in-process pool —
+// nested fan-out, so peak concurrency can exceed -workers. All randomness
+// derives from -seed through per-job PRNG streams, so output — stdout and
+// CSVs — is byte-identical for any -workers value AND any
+// backend/shard/peer combination.
 //
 //	sweep -exp all                        # run everything (few minutes)
 //	sweep -exp boundary                   # one experiment
 //	sweep -exp all -out data/             # also write CSVs
 //	sweep -exp all -seed 7 -workers 4     # reproducible, 4 workers
 //	sweep -exp all -backend process -shards 4  # shard over 4 subprocesses
+//	sweep -listen :9000                   # serve as a socket worker, then:
+//	sweep -exp all -backend socket -addrs host1:9000,host2:9000
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/multiradio/chanalloc"
 )
@@ -160,10 +169,17 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("out", "", "directory for CSV output (omit to skip)")
 	seed := fs.Uint64("seed", 0, "root seed for every randomised experiment")
 	workers := fs.Int("workers", 0, "worker-pool size (<= 0 means NumCPU)")
-	backendName := fs.String("backend", "inprocess", "engine backend: inprocess or process")
+	backendName := fs.String("backend", "inprocess", "engine backend: inprocess, process or socket")
 	shards := fs.Int("shards", 0, "worker subprocesses for -backend process (<= 0 means NumCPU)")
+	addrs := fs.String("addrs", "", "comma-separated worker addresses for -backend socket (host:port or unix:/path)")
+	listen := fs.String("listen", "", "serve as a socket worker on this address instead of running experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listen != "" {
+		fmt.Fprintf(out, "sweep: protocol v%d, serving %v on %s\n",
+			chanalloc.EngineProtocolVersion, chanalloc.EngineTaskNames(), *listen)
+		return chanalloc.EngineListenAndServe(*listen)
 	}
 	var backend chanalloc.EngineBackend
 	switch *backendName {
@@ -171,8 +187,19 @@ func run(args []string, out io.Writer) error {
 		backend = chanalloc.NewInProcessBackend()
 	case "process":
 		backend = chanalloc.NewProcessBackend(*shards)
+	case "socket":
+		var list []string
+		for _, addr := range strings.Split(*addrs, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				list = append(list, addr)
+			}
+		}
+		if len(list) == 0 {
+			return fmt.Errorf("-backend socket needs -addrs host:port[,host:port...]")
+		}
+		backend = chanalloc.NewSocketBackend(list...)
 	default:
-		return fmt.Errorf("unknown backend %q (want inprocess or process)", *backendName)
+		return fmt.Errorf("unknown backend %q (want inprocess, process or socket)", *backendName)
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

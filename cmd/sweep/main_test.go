@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -225,11 +226,59 @@ func TestProcessBackendDoesNotChangeOutput(t *testing.T) {
 	}
 }
 
+// TestSocketBackendDoesNotChangeOutput extends the backend-conformance
+// contract across the wire: the suite dispatched to socket workers over
+// loopback — this test process serving its own registered experiment task —
+// produces stdout and CSVs byte-identical to the in-process run.
+func TestSocketBackendDoesNotChangeOutput(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); chanalloc.EngineServe(lis) }()
+	defer func() { lis.Close(); <-done }()
+
+	for _, exp := range []string{"theorem1", "distbatch"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			const seed = 7
+			baseOut, baseCSVs := sweepRun(t, exp, seed, 2)
+			// Two connections to the same loopback worker: peer scheduling
+			// must not show in the output.
+			gotOut, gotCSVs := sweepRun(t, exp, seed, 2,
+				"-backend", "socket", "-addrs",
+				lis.Addr().String()+","+lis.Addr().String())
+			if gotOut != baseOut {
+				t.Fatalf("socket backend changed stdout:\n--- inprocess\n%s\n--- socket\n%s",
+					baseOut, gotOut)
+			}
+			if len(gotCSVs) != len(baseCSVs) || len(baseCSVs) == 0 {
+				t.Fatalf("socket backend wrote %d CSVs, want %d", len(gotCSVs), len(baseCSVs))
+			}
+			for name, want := range baseCSVs {
+				if gotCSVs[name] != want {
+					t.Fatalf("socket backend changed %s", name)
+				}
+			}
+		})
+	}
+}
+
 // TestUnknownBackend rejects a bad -backend value before any work runs.
 func TestUnknownBackend(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-exp", "lemmas", "-backend", "quantum"}, &b); err == nil {
 		t.Fatal("unknown backend should error")
+	}
+}
+
+// TestSocketBackendNeedsAddrs rejects -backend socket without -addrs.
+func TestSocketBackendNeedsAddrs(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "lemmas", "-backend", "socket"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-addrs") {
+		t.Fatalf("err = %v, want the missing -addrs error", err)
 	}
 }
 

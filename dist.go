@@ -30,7 +30,19 @@ type (
 	DistRunSpec = dist.RunSpec
 	// DistBatchResult aggregates an engine-batched set of protocol runs.
 	DistBatchResult = dist.BatchResult
+	// DistRingSpec is a fully serialisable token-ring run description that
+	// can cross the engine's Backend wire protocol to remote workers.
+	DistRingSpec = dist.RingSpec
+	// DistRateSpec is a serialisable channel rate function.
+	DistRateSpec = dist.RateSpec
+	// DistRingResult is the serialisable outcome of one ring run.
+	DistRingResult = dist.RingResult
 )
+
+// DistRingTask is the registered engine task name behind
+// RunDistributedRingBatch; a socket worker advertising it can serve ring
+// grids for any coordinator.
+const DistRingTask = dist.RingTask
 
 // NewCoordinator builds a protocol coordinator for g.
 func NewCoordinator(g *Game, opts ...CoordinatorOption) (*Coordinator, error) {
@@ -66,4 +78,12 @@ func UniformPolicies(n int, factory func(user int) Policy) []Policy {
 // EngineJobSeed(root, r), exactly and for any worker count.
 func RunDistributedBatch(specs []DistRunSpec, opts ...EngineOption) (*DistBatchResult, error) {
 	return dist.RunBatch(specs, opts...)
+}
+
+// RunDistributedRingBatch fans a grid of serialisable ring specs over any
+// engine backend — the in-process pool, worker subprocesses, or socket
+// peers on other machines — with byte-identical results on each. Run r
+// builds its policies from the stream EngineJobSeed(root, r).
+func RunDistributedRingBatch(b EngineBackend, specs []DistRingSpec, opts ...EngineOption) ([]DistRingResult, EngineStats, error) {
+	return dist.RunRingBatch(b, specs, opts...)
 }

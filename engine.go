@@ -1,6 +1,8 @@
 package chanalloc
 
 import (
+	"net"
+
 	"github.com/multiradio/chanalloc/internal/core"
 	"github.com/multiradio/chanalloc/internal/des"
 	"github.com/multiradio/chanalloc/internal/engine"
@@ -71,7 +73,16 @@ type (
 	// ProcessBackend shards batches over re-exec'd worker subprocesses
 	// speaking newline-delimited JSON over stdio.
 	ProcessBackend = engine.Process
+	// SocketBackend dispatches batches over TCP or unix-socket connections
+	// to remote workers speaking the same wire protocol, with a version
+	// handshake per connection and requeue of a dead peer's in-flight job.
+	SocketBackend = engine.Socket
 )
+
+// EngineProtocolVersion is the version of the coordinator<->worker wire
+// protocol, exchanged in the hello handshake that opens every socket
+// connection so skewed binaries fail loudly at connect time.
+const EngineProtocolVersion = engine.ProtocolVersion
 
 // NewInProcessBackend returns the default in-process backend.
 func NewInProcessBackend() *InProcessBackend { return engine.NewInProcess() }
@@ -81,6 +92,27 @@ func NewInProcessBackend() *InProcessBackend { return engine.NewInProcess() }
 // the current binary re-exec'd in engine-worker mode; call
 // RunEngineWorkerIfRequested first thing in main to enable that mode.
 func NewProcessBackend(shards int) *ProcessBackend { return engine.NewProcess(shards) }
+
+// NewSocketBackend returns a cross-machine backend dispatching batches over
+// one persistent connection per worker address. Addresses are "host:port"
+// (TCP), "unix:/path" or a bare filesystem path (unix socket); workers are
+// processes serving EngineListenAndServe — cmd/engineworker for library
+// tasks, or any task-registering binary with a listen mode (cmd/sweep
+// -listen). A dead peer's in-flight job is requeued for the survivors.
+func NewSocketBackend(addrs ...string) *SocketBackend { return engine.NewSocket(addrs...) }
+
+// EngineListenAndServe turns the process into a long-lived socket worker:
+// announce on addr ("host:port", ":port", "unix:/path" or a bare path),
+// answer the protocol handshake on each connection, and serve jobs of the
+// tasks registered in this process until it dies.
+func EngineListenAndServe(addr string) error { return engine.ListenAndServe(addr) }
+
+// EngineServe is EngineListenAndServe over an existing listener; it returns
+// nil when lis is closed.
+func EngineServe(lis net.Listener) error { return engine.Serve(lis) }
+
+// EngineTaskNames lists the tasks registered in this process, sorted.
+func EngineTaskNames() []string { return engine.TaskNames() }
 
 // RegisterEngineTask adds a named task to the process-global registry so
 // backends (including worker subprocesses) can run it.

@@ -98,15 +98,23 @@ func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, err
 // forEachRest walks the cartesian product of strategy rows for users
 // pinned..N-1 on top of a (users 0..pinned-1 already set), calling fn with
 // the reused allocation. Matches the serial ForEachAlloc iteration order
-// for fixed leading digits.
+// for fixed leading digits. A SetRow failure — rows are pre-validated by
+// the callers, but an invariant-breaking allocation must not pass silently
+// — stops the walk and surfaces as an error rather than a truncated
+// enumeration.
 func forEachRest(a *Alloc, rows [][]int, pinned int, sizes []int, fn func(*Alloc) bool) error {
-	return combin.Product(sizes, func(idx []int) bool {
+	var setErr error
+	err := combin.Product(sizes, func(idx []int) bool {
 		for u, ri := range idx {
 			if err := a.SetRow(u+pinned, rows[ri]); err != nil {
-				// rows are pre-validated; this cannot fail.
+				setErr = fmt.Errorf("core: setting row for user %d: %w", u+pinned, err)
 				return false
 			}
 		}
 		return fn(a)
 	})
+	if err != nil {
+		return err
+	}
+	return setErr
 }

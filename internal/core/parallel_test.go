@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"strings"
 	"testing"
 
 	"github.com/multiradio/chanalloc/internal/ratefn"
@@ -117,5 +118,32 @@ func TestEnumerateNEParallelHonoursCap(t *testing.T) {
 	}
 	if _, err := EnumerateNEParallel(g, 100, 2); err == nil {
 		t.Fatal("profile cap not enforced")
+	}
+}
+
+// TestForEachRestSurfacesSetRowError pins the error plumbing of the shard
+// walker: an invariant-breaking allocation (here, strategy rows whose
+// length does not match the game's channel count) must surface as an error
+// instead of silently truncating the enumeration.
+func TestForEachRestSurfacesSetRowError(t *testing.T) {
+	g, err := NewGame(2, 3, 2, ratefn.NewTDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.NewEmptyAlloc()
+	badRows := [][]int{{1, 1}} // two channels where the game has three
+	calls := 0
+	err = forEachRest(a, badRows, 0, []int{1, 1}, func(*Alloc) bool {
+		calls++
+		return true
+	})
+	if err == nil {
+		t.Fatal("invariant-breaking SetRow must surface, not truncate the walk")
+	}
+	if want := "setting row for user 0"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want it to contain %q", err, want)
+	}
+	if calls != 0 {
+		t.Fatalf("fn ran %d times on an invalid allocation", calls)
 	}
 }

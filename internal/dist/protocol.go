@@ -19,10 +19,15 @@ const (
 
 // message is the single frame type of the protocol; fields are populated
 // according to Type.
+//
+// User deliberately has no omitempty: user 0 is a legitimate identity, and
+// eliding it would make "hello for user 0" indistinguishable from a hello
+// missing the field on the wire — the same bug class as the engine
+// protocol's job seed. The frame bytes are pinned in protocol tests.
 type message struct {
 	Type string `json:"type"`
 	// hello
-	User     int `json:"user,omitempty"`
+	User     int `json:"user"`
 	Channels int `json:"channels,omitempty"`
 	Radios   int `json:"radios,omitempty"`
 	// token

@@ -1,0 +1,54 @@
+package dist
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMessageFrameBytes pins the exact bytes of the protocol's frames —
+// the compatibility contract between coordinator and agents that may be
+// built from different revisions. In particular the hello for user 0 must
+// carry "user":0 explicitly: user 0 is a legitimate identity, and eliding
+// it (the old omitempty) made "hello for user 0" indistinguishable from a
+// hello missing the field.
+func TestMessageFrameBytes(t *testing.T) {
+	for _, tc := range []struct {
+		desc string
+		msg  message
+		want string
+	}{
+		{
+			"hello for user 0",
+			message{Type: msgHello, User: 0, Channels: 3, Radios: 2},
+			`{"type":"hello","user":0,"channels":3,"radios":2}`,
+		},
+		{
+			"hello for user 2",
+			message{Type: msgHello, User: 2, Channels: 3, Radios: 2},
+			`{"type":"hello","user":2,"channels":3,"radios":2}`,
+		},
+		{
+			"token frame",
+			message{Type: msgToken, Loads: []int{1, 0, 2}, Row: []int{0, 0, 1}},
+			`{"type":"token","user":0,"loads":[1,0,2],"row":[0,0,1]}`,
+		},
+		{
+			"row proposal",
+			message{Type: msgRow, Row: []int{1, 1, 0}},
+			`{"type":"row","user":0,"row":[1,1,0]}`,
+		},
+		{
+			"ack",
+			message{Type: msgAck},
+			`{"type":"ack","user":0}`,
+		},
+	} {
+		got, err := json.Marshal(&tc.msg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.desc, err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("%s:\n got %s\nwant %s", tc.desc, got, tc.want)
+		}
+	}
+}

@@ -67,6 +67,26 @@ func (*InProcess) RunTask(task string, params json.RawMessage, n int, opts ...Op
 	}, opts...)
 }
 
+// surfaceJobErrors applies the tail of the Backend error contract to a
+// collected batch: the lowest-indexed failing job's error surfaces first
+// (worded identically on every backend — the conformance suite pins the
+// bytes), then any job that silently ended up with neither a result nor a
+// recorded error is reported against the named backend. Shared by every
+// remote backend's fan-in.
+func surfaceJobErrors(backend string, results []json.RawMessage, errs []string, failed []bool) error {
+	for job, msg := range errs {
+		if failed[job] {
+			return fmt.Errorf("engine: job %d: %s", job, msg)
+		}
+	}
+	for job, res := range results {
+		if res == nil && !failed[job] {
+			return fmt.Errorf("engine: %s backend lost job %d", backend, job)
+		}
+	}
+	return nil
+}
+
 // RunTask runs a registered task over any backend with typed parameters and
 // results: params is marshalled once for the whole batch, and each job's
 // JSON result is unmarshalled into T.

@@ -58,13 +58,19 @@ func init() {
 }
 
 // conformanceBackends enumerates every backend implementation with a few
-// pool/shard shapes each. Process shapes stay small: each entry spawns that
-// many subprocesses.
-func conformanceBackends() []struct {
+// pool/shard/peer shapes each. Process shapes stay small (each entry spawns
+// that many subprocesses); socket shapes run the real worker loop — Serve
+// with handshake — over loopback TCP and a unix socket, with the test
+// process serving its own registered tasks.
+func conformanceBackends(t *testing.T) []struct {
 	desc    string
 	backend Backend
 	opts    []Option
 } {
+	t.Helper()
+	tcp1 := startServe(t, "tcp", "127.0.0.1:0")
+	tcp2 := startServe(t, "tcp", "127.0.0.1:0")
+	unix := startServe(t, "unix", t.TempDir()+"/worker.sock")
 	return []struct {
 		desc    string
 		backend Backend
@@ -74,6 +80,11 @@ func conformanceBackends() []struct {
 		{"inprocess/workers=4", NewInProcess(), []Option{Workers(4)}},
 		{"process/shards=1", NewProcess(1), nil},
 		{"process/shards=3", NewProcess(3), nil},
+		{"socket/peers=1", NewSocket(tcp1), nil},
+		// Three connections across two listeners: the same endpoint serving
+		// several peers concurrently must not show in the results.
+		{"socket/peers=3", NewSocket(tcp1, tcp2, tcp1), nil},
+		{"socket/unix", NewSocket(unix), nil},
 	}
 }
 
@@ -87,7 +98,7 @@ func TestBackendConformanceResults(t *testing.T) {
 	}
 	var base []json.RawMessage
 	var baseDesc string
-	for _, bc := range conformanceBackends() {
+	for _, bc := range conformanceBackends(t) {
 		t.Run(bc.desc, func(t *testing.T) {
 			got, stats, err := bc.backend.RunTask("conformance/draw", params, n,
 				append(bc.opts, Seed(42))...)
@@ -116,7 +127,7 @@ func TestBackendConformanceResults(t *testing.T) {
 // nil results.
 func TestBackendConformanceError(t *testing.T) {
 	const want = "engine: job 3: job 3 boom"
-	for _, bc := range conformanceBackends() {
+	for _, bc := range conformanceBackends(t) {
 		t.Run(bc.desc, func(t *testing.T) {
 			got, _, err := bc.backend.RunTask("conformance/fail", []byte("{}"), 17,
 				append(bc.opts, Seed(42))...)
@@ -136,7 +147,7 @@ func TestBackendConformanceError(t *testing.T) {
 // TestBackendConformanceUnknownTask: resolving an unregistered task fails
 // the same way on every backend, before any work is dispatched.
 func TestBackendConformanceUnknownTask(t *testing.T) {
-	for _, bc := range conformanceBackends() {
+	for _, bc := range conformanceBackends(t) {
 		t.Run(bc.desc, func(t *testing.T) {
 			if _, _, err := bc.backend.RunTask("conformance/nope", nil, 3, bc.opts...); err == nil {
 				t.Fatal("unknown task should error")
@@ -148,7 +159,7 @@ func TestBackendConformanceUnknownTask(t *testing.T) {
 // TestBackendConformanceEmptyBatch: zero jobs succeed with empty results on
 // every backend.
 func TestBackendConformanceEmptyBatch(t *testing.T) {
-	for _, bc := range conformanceBackends() {
+	for _, bc := range conformanceBackends(t) {
 		t.Run(bc.desc, func(t *testing.T) {
 			got, stats, err := bc.backend.RunTask("conformance/draw", []byte(`{"mul":1}`), 0, bc.opts...)
 			if err != nil || len(got) != 0 || got == nil || stats.Workers != 0 {

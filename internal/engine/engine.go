@@ -35,6 +35,11 @@ type Stats struct {
 	Wall time.Duration
 	// JobTimes holds per-job execution times, indexed by job.
 	JobTimes []time.Duration
+	// Requeues counts jobs returned to the work queue after a peer failed —
+	// a dial that never connected or a transport lost mid-job (Socket
+	// backend only; always 0 elsewhere). Like the timings, it describes how
+	// the batch executed, never what it produced.
+	Requeues int
 }
 
 // TotalJobTime sums the per-job times — the serial cost the pool amortised.

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ProtocolVersion is the version of the coordinator<->worker wire protocol
+// spoken over socket transports. It is exchanged in the hello handshake that
+// opens every connection, so binaries built from skewed revisions fail
+// loudly at connect time instead of silently misinterpreting frames.
+//
+// History:
+//
+//	v1 — hello handshake; job/result frames with a mandatory seed field.
+//
+// Bump it whenever a frame's meaning changes incompatibly (a field changing
+// semantics, a mandatory field appearing). Purely additive fields do not
+// need a bump: unknown fields are ignored by both ends.
+const ProtocolVersion = 1
+
+// clientHandshake opens a coordinator->worker connection: announce our
+// protocol version and the task the batch will run, then require a matching
+// hello back. The worker rejects (with a reason in the reply's Error field)
+// when versions differ or the task is not in its registry — both are
+// configuration mistakes that must surface before any job is dispatched.
+func clientHandshake(enc *json.Encoder, dec *json.Decoder, task string) error {
+	if err := enc.Encode(&wireMsg{Type: wireHello, Version: ProtocolVersion, Task: task}); err != nil {
+		return fmt.Errorf("sending hello: %w", err)
+	}
+	var reply wireMsg
+	if err := dec.Decode(&reply); err != nil {
+		return fmt.Errorf("awaiting hello reply (a pre-versioning worker closes here): %w", err)
+	}
+	if reply.Type != wireHello {
+		return fmt.Errorf("got frame %q for hello reply, want %q (worker speaks a pre-versioning protocol?)",
+			reply.Type, wireHello)
+	}
+	if reply.Error != "" {
+		return fmt.Errorf("worker rejected handshake: %s", reply.Error)
+	}
+	if reply.Version != ProtocolVersion {
+		return fmt.Errorf("protocol version mismatch: coordinator v%d, worker v%d",
+			ProtocolVersion, reply.Version)
+	}
+	return nil
+}
+
+// serverHandshake answers the worker end of the hello exchange. A rejected
+// handshake is reported to the peer (reply with Error set) and returned so
+// the caller closes the connection; an accepted one advertises the worker's
+// protocol version and registered tasks.
+func serverHandshake(enc *json.Encoder, dec *json.Decoder) error {
+	var m wireMsg
+	if err := dec.Decode(&m); err != nil {
+		return fmt.Errorf("awaiting hello: %w", err)
+	}
+	reject := func(reason string) error {
+		// Best effort: the coordinator may already be gone.
+		_ = enc.Encode(&wireMsg{Type: wireHello, Version: ProtocolVersion, Error: reason})
+		return fmt.Errorf("rejecting handshake: %s", reason)
+	}
+	if m.Type != wireHello {
+		return reject(fmt.Sprintf("expected %q frame, got %q (coordinator speaks a pre-versioning protocol?)",
+			wireHello, m.Type))
+	}
+	if m.Version != ProtocolVersion {
+		return reject(fmt.Sprintf("protocol version mismatch: coordinator v%d, worker v%d",
+			m.Version, ProtocolVersion))
+	}
+	if m.Task != "" {
+		if _, ok := taskByName(m.Task); !ok {
+			return reject(fmt.Sprintf("unknown task %q (registered: %v)", m.Task, TaskNames()))
+		}
+	}
+	if err := enc.Encode(&wireMsg{Type: wireHello, Version: ProtocolVersion, Tasks: TaskNames()}); err != nil {
+		return fmt.Errorf("sending hello reply: %w", err)
+	}
+	return nil
+}
+
+// splitWorkerAddr resolves a worker address string into a (network, address)
+// pair for net.Dial / net.Listen. "unix:" prefixes and bare filesystem paths
+// select unix sockets; everything else is TCP host:port.
+func splitWorkerAddr(addr string) (network, address string, err error) {
+	switch {
+	case strings.TrimSpace(addr) == "":
+		return "", "", fmt.Errorf("engine: empty worker address")
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:"), nil
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:"), nil
+	case strings.ContainsAny(addr, "/"):
+		return "unix", addr, nil
+	case !strings.Contains(addr, ":"):
+		// TCP needs host:port; a colon-less address ("worker.sock") can
+		// only be a relative unix-socket path.
+		return "unix", addr, nil
+	default:
+		return "tcp", addr, nil
+	}
+}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Serve runs the listening end of the socket worker loop: accept
+// connections, answer the hello handshake (rejecting version or task skew
+// loudly, see ProtocolVersion), then serve jobs with ServeWorker — the very
+// loop the Process backend drives over stdio — until the coordinator
+// half-closes the connection. Connections are served concurrently; Serve
+// returns nil when lis is closed.
+func Serve(lis net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	var backoff time.Duration
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			// A long-lived worker must ride out transient accept failures
+			// (aborted connections, descriptor-pressure bursts) rather than
+			// die and strand every future batch — the net/http idiom.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				fmt.Fprintf(os.Stderr, "engine worker: accept: %v; retrying in %v\n", err, backoff)
+				time.Sleep(backoff)
+				continue
+			}
+			return fmt.Errorf("engine: accepting worker connection: %w", err)
+		}
+		backoff = 0
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			enc := json.NewEncoder(conn)
+			dec := json.NewDecoder(conn)
+			if err := serverHandshake(enc, dec); err != nil {
+				fmt.Fprintf(os.Stderr, "engine worker: %s: %v\n", remoteName(conn), err)
+				return
+			}
+			if err := serveConn(conn, dec); err != nil {
+				fmt.Fprintf(os.Stderr, "engine worker: %s: %v\n", remoteName(conn), err)
+			}
+		}(conn)
+	}
+}
+
+// serveConn is ServeWorker over an established connection, reusing the
+// handshake's decoder so no buffered bytes are lost.
+func serveConn(conn net.Conn, dec *json.Decoder) error {
+	return serveWorker(dec, json.NewEncoder(conn))
+}
+
+// ListenAndServe announces on addr — "host:port" or ":port" (TCP),
+// "unix:/path" or a bare filesystem path (unix socket) — and serves worker
+// connections until the process dies. Unix socket files are removed first
+// so a restarted worker can rebind.
+func ListenAndServe(addr string) error {
+	network, address, err := splitWorkerAddr(addr)
+	if err != nil {
+		return err
+	}
+	if network == "unix" {
+		if err := os.Remove(address); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("engine: removing stale socket %s: %w", address, err)
+		}
+	}
+	lis, err := net.Listen(network, address)
+	if err != nil {
+		return fmt.Errorf("engine: listening on %s: %w", addr, err)
+	}
+	defer lis.Close()
+	return Serve(lis)
+}
+
+// remoteName labels a connection for worker-side logs.
+func remoteName(conn net.Conn) string {
+	if ra := conn.RemoteAddr(); ra != nil && strings.TrimSpace(ra.String()) != "" {
+		return ra.String()
+	}
+	return "peer"
+}

@@ -19,8 +19,9 @@ import (
 // frame, the shards produce exactly the bytes the in-process pool would —
 // which shard ran a job, and in what order, never shows in the results.
 type Process struct {
-	shards  int
-	command func() *exec.Cmd
+	shards   int
+	command  func() *exec.Cmd
+	teardown time.Duration
 }
 
 // ProcessOption configures a Process backend.
@@ -34,11 +35,19 @@ func WithWorkerCommand(command func() *exec.Cmd) ProcessOption {
 	return func(p *Process) { p.command = command }
 }
 
+// WithTeardownTimeout bounds how long shutdown waits for a worker to exit
+// after its job stream closes before killing it (d <= 0 waits forever;
+// default 5s). A worker that hangs instead of exiting must not block the
+// coordinator indefinitely.
+func WithTeardownTimeout(d time.Duration) ProcessOption {
+	return func(p *Process) { p.teardown = d }
+}
+
 // NewProcess builds a multi-process backend with the given shard count
 // (worker subprocesses); shards < 1 means GOMAXPROCS-many via the same
 // default as the in-process pool.
 func NewProcess(shards int, opts ...ProcessOption) *Process {
-	p := &Process{shards: shards, command: selfWorkerCommand}
+	p := &Process{shards: shards, command: selfWorkerCommand, teardown: defaultTeardownGrace}
 	for _, opt := range opts {
 		opt(p)
 	}
@@ -63,10 +72,11 @@ func (p *Process) Name() string { return "process" }
 
 // shard is one live worker subprocess with JSON framing over its stdio.
 type shard struct {
-	cmd   *exec.Cmd
-	stdin io.WriteCloser
-	enc   *json.Encoder
-	dec   *json.Decoder
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	enc      *json.Encoder
+	dec      *json.Decoder
+	teardown time.Duration
 }
 
 // start spawns one worker subprocess.
@@ -84,10 +94,11 @@ func (p *Process) start() (*shard, error) {
 		return nil, fmt.Errorf("starting worker: %w", err)
 	}
 	return &shard{
-		cmd:   cmd,
-		stdin: stdin,
-		enc:   json.NewEncoder(stdin),
-		dec:   json.NewDecoder(stdout),
+		cmd:      cmd,
+		stdin:    stdin,
+		enc:      json.NewEncoder(stdin),
+		dec:      json.NewDecoder(stdout),
+		teardown: p.teardown,
 	}, nil
 }
 
@@ -108,10 +119,15 @@ func (s *shard) runJob(m *wireMsg) (*wireMsg, error) {
 	return &reply, nil
 }
 
-// shutdown closes the job stream and reaps the subprocess.
+// shutdown closes the job stream and reaps the subprocess. A healthy worker
+// exits on the stream's EOF; one that hangs — wedged in a task, or a peer
+// that stopped reading after a transport error — is killed once the
+// teardown grace expires, so cmd.Wait can never block the coordinator
+// forever (the escalation is shared with the Socket backend's peer
+// teardown, see reap).
 func (s *shard) shutdown() error {
 	s.stdin.Close()
-	return s.cmd.Wait()
+	return reap(s.teardown, s.cmd.Wait, func() error { return s.cmd.Process.Kill() })
 }
 
 // RunTask implements Backend: fan the batch's jobs out over the worker
@@ -203,17 +219,11 @@ func (p *Process) RunTask(task string, params json.RawMessage, n int, opts ...Op
 			return nil, stats, fmt.Errorf("engine: process backend shard %d: %w", w, err)
 		}
 	}
-	for job, msg := range errs {
-		if failed[job] {
-			return nil, stats, fmt.Errorf("engine: job %d: %s", job, msg)
-		}
-	}
-	// A dead shard's unclaimed jobs stay unexecuted; make sure none slipped
-	// through silently (every job must have a result or a recorded error).
-	for job, res := range results {
-		if res == nil && !failed[job] {
-			return nil, stats, fmt.Errorf("engine: process backend lost job %d", job)
-		}
+	// A dead shard's unclaimed jobs stay unexecuted; surfaceJobErrors makes
+	// sure none slipped through silently (every job must have a result or a
+	// recorded error).
+	if err := surfaceJobErrors("process", results, errs, failed); err != nil {
+		return nil, stats, err
 	}
 	return results, stats, nil
 }

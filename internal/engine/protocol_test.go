@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWireFrameBytes pins the exact bytes of every frame kind. The pins are
+// the compatibility contract with remote workers: a change here is a wire
+// change and needs a ProtocolVersion review. In particular the job frame
+// must carry "seed":0 explicitly — a zero seed is a legitimate JobSeed
+// value, and eliding it (the old omitempty) made "seed absent" and "seed 0"
+// indistinguishable to a version-skewed peer.
+func TestWireFrameBytes(t *testing.T) {
+	for _, tc := range []struct {
+		desc string
+		msg  wireMsg
+		want string
+	}{
+		{
+			"job frame with zero seed",
+			wireMsg{Type: wireJob, Job: 0, Task: "t", Params: json.RawMessage(`{"p":1}`), Seed: 0},
+			`{"type":"job","job":0,"task":"t","params":{"p":1},"seed":0}`,
+		},
+		{
+			"job frame with nonzero seed",
+			wireMsg{Type: wireJob, Job: 7, Task: "t", Seed: 12345},
+			`{"type":"job","job":7,"task":"t","seed":12345}`,
+		},
+		{
+			"result frame with value",
+			wireMsg{Type: wireResult, Job: 3, Value: json.RawMessage(`{"x":2}`)},
+			`{"type":"result","job":3,"seed":0,"value":{"x":2}}`,
+		},
+		{
+			"result frame with job error",
+			wireMsg{Type: wireResult, Job: 4, Error: "boom"},
+			`{"type":"result","job":4,"seed":0,"error":"boom"}`,
+		},
+		{
+			"hello frame",
+			wireMsg{Type: wireHello, Version: ProtocolVersion, Task: "t"},
+			`{"type":"hello","job":0,"task":"t","seed":0,"version":1}`,
+		},
+		{
+			"hello reply",
+			wireMsg{Type: wireHello, Version: ProtocolVersion, Tasks: []string{"a", "b"}},
+			`{"type":"hello","job":0,"seed":0,"version":1,"tasks":["a","b"]}`,
+		},
+	} {
+		got, err := json.Marshal(&tc.msg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.desc, err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("%s:\n got %s\nwant %s", tc.desc, got, tc.want)
+		}
+	}
+}
+
+// TestWireSeedZeroRoundTrips is the decoder side of the omitempty fix: a
+// frame carrying seed 0 and a frame built by an old binary that dropped the
+// field decode differently only in that the former is explicit on the wire.
+func TestWireSeedZeroRoundTrips(t *testing.T) {
+	var m wireMsg
+	if err := json.Unmarshal([]byte(`{"type":"job","job":1,"task":"t","seed":0}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != 0 || m.Task != "t" {
+		t.Fatalf("decoded %+v", m)
+	}
+	enc, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(enc, []byte(`"seed":0`)) {
+		t.Fatalf("re-encoded frame lost the zero seed: %s", enc)
+	}
+}
+
+// TestHandshake exercises both ends of the hello exchange back to back.
+func TestHandshake(t *testing.T) {
+	t.Run("accept", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		srvErr := make(chan error, 1)
+		go func() { srvErr <- serverHandshake(server.enc, server.dec) }()
+		if err := clientHandshake(client.enc, client.dec, "conformance/draw"); err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		if err := <-srvErr; err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	})
+	t.Run("unknown task rejected", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		srvErr := make(chan error, 1)
+		go func() { srvErr <- serverHandshake(server.enc, server.dec) }()
+		err := clientHandshake(client.enc, client.dec, "conformance/nope")
+		if err == nil || !strings.Contains(err.Error(), "unknown task") {
+			t.Fatalf("client error %v, want unknown-task rejection", err)
+		}
+		if err := <-srvErr; err == nil {
+			t.Fatal("server should report the rejection")
+		}
+	})
+	t.Run("version skew rejected", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		srvErr := make(chan error, 1)
+		go func() { srvErr <- serverHandshake(server.enc, server.dec) }()
+		// A future coordinator: same frame, higher version.
+		if err := client.enc.Encode(&wireMsg{Type: wireHello, Version: ProtocolVersion + 1}); err != nil {
+			t.Fatal(err)
+		}
+		var reply wireMsg
+		if err := client.dec.Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		if reply.Error == "" || !strings.Contains(reply.Error, "version mismatch") {
+			t.Fatalf("reply %+v, want a version-mismatch rejection", reply)
+		}
+		if err := <-srvErr; err == nil {
+			t.Fatal("server should reject version skew")
+		}
+	})
+	t.Run("pre-versioning coordinator rejected", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		srvErr := make(chan error, 1)
+		go func() { srvErr <- serverHandshake(server.enc, server.dec) }()
+		// An old coordinator speaks jobs immediately, no hello.
+		if err := client.enc.Encode(&wireMsg{Type: wireJob, Job: 0, Task: "t"}); err != nil {
+			t.Fatal(err)
+		}
+		var reply wireMsg
+		if err := client.dec.Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		if reply.Error == "" {
+			t.Fatalf("reply %+v, want a rejection", reply)
+		}
+		if err := <-srvErr; err == nil {
+			t.Fatal("server should reject a job before hello")
+		}
+	})
+}
+
+func TestSplitWorkerAddr(t *testing.T) {
+	for _, tc := range []struct {
+		in, network, address string
+		wantErr              bool
+	}{
+		{"127.0.0.1:9000", "tcp", "127.0.0.1:9000", false},
+		{":9000", "tcp", ":9000", false},
+		{"host.example:80", "tcp", "host.example:80", false},
+		{"tcp:10.0.0.1:1234", "tcp", "10.0.0.1:1234", false},
+		{"unix:/tmp/w.sock", "unix", "/tmp/w.sock", false},
+		{"/tmp/w.sock", "unix", "/tmp/w.sock", false},
+		{"./w.sock", "unix", "./w.sock", false},
+		{"worker.sock", "unix", "worker.sock", false},
+		{"", "", "", true},
+		{"   ", "", "", true},
+	} {
+		network, address, err := splitWorkerAddr(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%q: want error", tc.in)
+			}
+			continue
+		}
+		if err != nil || network != tc.network || address != tc.address {
+			t.Errorf("%q: got (%q, %q, %v), want (%q, %q)", tc.in, network, address, err, tc.network, tc.address)
+		}
+	}
+}

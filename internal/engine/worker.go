@@ -21,23 +21,32 @@ const WorkerEnv = "CHANALLOC_ENGINE_WORKER"
 // JSON object on one line (the newline-delimited JSON idiom of
 // internal/dist); unknown fields are ignored so the protocol can grow.
 const (
+	wireHello  = "hello"  // both directions: version/task handshake (socket transport)
 	wireJob    = "job"    // coordinator -> worker: one task job to run
 	wireResult = "result" // worker -> coordinator: the job's value or error
 )
 
 // wireMsg is the single frame type of the worker protocol; fields are
 // populated according to Type.
+//
+// Seed deliberately has no omitempty: a job's seed is semantically
+// load-bearing for every value including zero (JobSeed can return 0), and
+// eliding it would make "seed absent" and "seed 0" indistinguishable to a
+// version-skewed peer. The frame bytes are pinned in protocol tests.
 type wireMsg struct {
 	Type string `json:"type"`
 	// job and result
 	Job int `json:"job"`
-	// job
+	// job (Task doubles as the required-task announcement of a hello)
 	Task   string          `json:"task,omitempty"`
 	Params json.RawMessage `json:"params,omitempty"`
-	Seed   uint64          `json:"seed,omitempty"`
-	// result
+	Seed   uint64          `json:"seed"`
+	// result (Error doubles as the rejection reason of a hello reply)
 	Value json.RawMessage `json:"value,omitempty"`
 	Error string          `json:"error,omitempty"`
+	// hello
+	Version int      `json:"version,omitempty"`
+	Tasks   []string `json:"tasks,omitempty"`
 }
 
 // RunWorkerIfRequested turns the current process into an engine worker when
@@ -64,8 +73,13 @@ func RunWorkerIfRequested() {
 // lets a batch run every job even when some fail, exactly like the
 // in-process pool.
 func ServeWorker(r io.Reader, w io.Writer) error {
-	dec := json.NewDecoder(r)
-	enc := json.NewEncoder(w)
+	return serveWorker(json.NewDecoder(r), json.NewEncoder(w))
+}
+
+// serveWorker is ServeWorker with the framing already built — the socket
+// listener hands in the handshake's decoder so bytes it buffered ahead are
+// not lost.
+func serveWorker(dec *json.Decoder, enc *json.Encoder) error {
 	for {
 		var m wireMsg
 		if err := dec.Decode(&m); err != nil {
