@@ -18,7 +18,9 @@
 package chanalloc_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"net"
 	"runtime"
 	"testing"
 
@@ -392,5 +394,80 @@ func BenchmarkPotential(b *testing.B) {
 		if chanalloc.Potential(r, ne) <= 0 {
 			b.Fatal("degenerate potential")
 		}
+	}
+}
+
+// benchDispatchTask is a minimal engine task for the dispatch benchmarks:
+// near-zero work per job, so the measured time is almost pure wire latency
+// — exactly where lock-step and pipelined dispatch differ.
+const benchDispatchTask = "bench/echo"
+
+func init() {
+	if err := chanalloc.RegisterEngineTask(benchDispatchTask,
+		func(params json.RawMessage, job int, rng *chanalloc.RNG) (any, error) {
+			return job, nil
+		}); err != nil {
+		panic(err)
+	}
+}
+
+// benchDispatchBatch runs one small-job batch over the backend and fails
+// the benchmark on any error.
+func benchDispatchBatch(b *testing.B, backend chanalloc.EngineBackend, jobs int) {
+	b.Helper()
+	got, _, err := backend.RunTask(benchDispatchTask, json.RawMessage(`{}`), jobs,
+		chanalloc.EngineSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(got) != jobs {
+		b.Fatalf("got %d results, want %d", len(got), jobs)
+	}
+}
+
+// BenchmarkDispatch compares the remote backends' dispatch disciplines on a
+// 64-small-job batch over loopback TCP, one worker each: the socket
+// backend's lock-step send/receive pays one round-trip per job, the
+// cluster backend's pipelined dispatch pays roughly one per window
+// (EXPERIMENTS.md "Work-queue and window semantics"). cmd/benchjson and
+// cmd/benchdiff track these ops PR-over-PR like every other benchmark.
+func BenchmarkDispatch(b *testing.B) {
+	const jobs = 64
+	b.Run("lockstep", func(b *testing.B) {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() { defer close(done); chanalloc.EngineServe(lis) }()
+		defer func() { lis.Close(); <-done }()
+		backend := chanalloc.NewSocketBackend(lis.Addr().String())
+		benchDispatchBatch(b, backend, jobs) // warm up the connection path
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchDispatchBatch(b, backend, jobs)
+		}
+	})
+	for _, window := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("pipelined/window%d", window), func(b *testing.B) {
+			backend, err := chanalloc.NewClusterBackend("127.0.0.1:0",
+				chanalloc.ClusterWindow(window))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer backend.Close()
+			stop := make(chan struct{})
+			joined := make(chan struct{})
+			go func() {
+				defer close(joined)
+				chanalloc.EngineJoinAndServe(backend.Addr(), chanalloc.JoinStop(stop))
+			}()
+			defer func() { close(stop); <-joined }()
+			benchDispatchBatch(b, backend, jobs) // absorbs the join wait
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchDispatchBatch(b, backend, jobs)
+			}
+		})
 	}
 }

@@ -1,21 +1,31 @@
-// Command engineworker is a long-lived socket worker for the engine's
-// cross-machine backend: it listens on a TCP or unix-socket address,
-// answers the wire protocol's version handshake on every connection, and
-// serves jobs of the library's registered engine tasks (EXPERIMENTS.md
-// documents the protocol). Launch one per host, then point a coordinator
-// at them:
+// Command engineworker is a long-lived worker for the engine's
+// cross-machine backends: it serves jobs of the library's registered engine
+// tasks (EXPERIMENTS.md documents the protocol) in either connection
+// direction:
 //
-//	engineworker -listen :9000                 # on each worker host
-//	sweep -backend socket -addrs host1:9000,host2:9000
+//   - listen mode (socket backend): the worker listens, coordinators dial
+//     it and the connection opens with the wire protocol's version
+//     handshake.
+//
+//     engineworker -listen :9000                 # on each worker host
+//     sweep -backend socket -addrs host1:9000,host2:9000
+//
+//   - join mode (cluster backend): the worker dials IN to a coordinator
+//     and registers — so it can live behind NAT, start before the
+//     coordinator exists, or join a sweep already mid-batch — then serves
+//     a pipelined window of jobs with heartbeats, rejoining whenever the
+//     coordinator goes away.
+//
+//     sweep -backend cluster -listen-workers :9100   # the coordinator
+//     engineworker -join coordinator-host:9100       # on each worker host
 //
 // The worker serves the tasks registered in its binary (engineworker
 // carries the library's registry — `engineworker -tasks` lists it, with
-// dist/ring serving distributed-protocol grids). Coordinators announce
-// their task in the handshake, so a worker missing it — or built at a
-// different protocol version — rejects the connection loudly instead of
-// misinterpreting frames. Task-registering programs can also be their own
-// workers: `sweep -listen :9000` serves the experiment suite's task the
-// same way.
+// dist/ring serving distributed-protocol grids). Handshakes check protocol
+// version, task registry and the optional -auth-token shared secret, so a
+// mismatched worker rejects loudly instead of misinterpreting frames.
+// Task-registering programs can also be their own workers: `sweep -listen
+// :9000` serves the experiment suite's task the same way.
 package main
 
 import (
@@ -41,6 +51,10 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("engineworker", flag.ContinueOnError)
 	listen := fs.String("listen", ":9000",
 		`address to serve on: "host:port", ":port", "unix:/path" or a bare socket path`)
+	join := fs.String("join", "",
+		"dial in and register with a cluster coordinator at this address instead of listening")
+	authToken := fs.String("auth-token", "",
+		"shared secret checked during the handshake; must match the coordinator's -auth-token")
 	tasks := fs.Bool("tasks", false, "list the tasks this worker can serve, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,7 +65,12 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+	if *join != "" {
+		fmt.Fprintf(out, "engineworker: protocol v%d, serving %v, joining %s\n",
+			chanalloc.EngineProtocolVersion, chanalloc.EngineTaskNames(), *join)
+		return chanalloc.EngineJoinAndServe(*join, chanalloc.JoinAuthToken(*authToken))
+	}
 	fmt.Fprintf(out, "engineworker: protocol v%d, serving %v on %s\n",
 		chanalloc.EngineProtocolVersion, chanalloc.EngineTaskNames(), *listen)
-	return chanalloc.EngineListenAndServe(*listen)
+	return chanalloc.EngineListenAndServe(*listen, chanalloc.ServeAuthToken(*authToken))
 }

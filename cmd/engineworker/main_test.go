@@ -56,6 +56,56 @@ func TestServesRingBatch(t *testing.T) {
 	}
 }
 
+// TestJoinsCluster drives the worker binary's join mode end to end: a
+// cluster coordinator accepting joins, run() dialing in and registering,
+// and a distributed-protocol grid dispatched through the membership —
+// byte-identical to in-process.
+func TestJoinsCluster(t *testing.T) {
+	coord, err := chanalloc.NewClusterBackend("unix:"+t.TempDir()+"/coord.sock",
+		chanalloc.ClusterWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	workerErr := make(chan error, 1)
+	go func() { workerErr <- run([]string{"-join", coord.Addr()}, &b) }()
+	t.Cleanup(func() {
+		coord.Close()
+		// The worker's join loop must end with the coordinator gone for
+		// good — and a permanent rejection would surface here as a failure
+		// instead of a hang at the batch's join-wait.
+		select {
+		case err := <-workerErr:
+			if err != nil {
+				t.Errorf("worker run: %v", err)
+			}
+		case <-time.After(100 * time.Millisecond):
+			// Still redialing the closed coordinator; that's the documented
+			// outlive-the-coordinator behaviour, not a leak worth failing on
+			// in a test binary about to exit.
+		}
+	})
+
+	specs := []chanalloc.DistRingSpec{
+		{Users: 3, Channels: 3, Radios: 2, Rate: chanalloc.DistRateSpec{Kind: "tdma", R0: 1},
+			Policies: []string{"greedy"}},
+		{Users: 4, Channels: 2, Radios: 2, Rate: chanalloc.DistRateSpec{Kind: "harmonic", R0: 1, Param: 1},
+			Policies: []string{"greedy-random"}},
+	}
+	want, _, err := chanalloc.RunDistributedRingBatch(chanalloc.NewInProcessBackend(), specs,
+		chanalloc.EngineSeed(5), chanalloc.EngineWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := chanalloc.RunDistributedRingBatch(coord, specs, chanalloc.EngineSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("cluster-served batch differs:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
 // waitForListener polls until the worker's socket accepts connections.
 func waitForListener(t *testing.T, addr string) {
 	t.Helper()

@@ -21,19 +21,24 @@
 // backend: experiments run as jobs of a registered engine task, fanned out
 // over the in-process pool (default), over worker subprocesses (-backend
 // process -shards N; each shard is this binary re-exec'd in engine-worker
-// mode, speaking newline-delimited JSON over stdio), or over socket workers
+// mode, speaking newline-delimited JSON over stdio), over socket workers
 // on other machines (-backend socket -addrs host:port,... — same wire
 // protocol, plus a version handshake per connection; see EXPERIMENTS.md
-// for the frame grammar). Socket workers are sweep binaries started with
-// -listen, so the experiment task is registered on both ends; note that
-// experiments write CSVs on the machine that runs them, so -out expects a
-// shared filesystem when peers are remote. The experiments' internal batch
-// paths (seed sweeps, NE enumeration, dynamics replicates, batched protocol
-// rings) each fan out over their own -workers-sized in-process pool —
-// nested fan-out, so peak concurrency can exceed -workers. All randomness
-// derives from -seed through per-job PRNG streams, so output — stdout and
-// CSVs — is byte-identical for any -workers value AND any
-// backend/shard/peer combination.
+// for the frame grammar), or over a worker cluster (-backend cluster
+// -listen-workers :9100 — the connection direction reverses: workers dial
+// in with `engineworker -join` or `sweep -join` and register, may join or
+// leave mid-batch, heartbeat for liveness, and receive a pipelined -window
+// of jobs each). Socket workers are sweep binaries started with -listen,
+// so the experiment task is registered on both ends; note that experiments
+// write CSVs on the machine that runs them, so -out expects a shared
+// filesystem when peers are remote. -auth-token arms a shared-secret check
+// in every handshake. The experiments' internal batch paths (seed sweeps,
+// NE enumeration, dynamics replicates, batched protocol rings) each fan
+// out over their own -workers-sized in-process pool — nested fan-out, so
+// peak concurrency can exceed -workers. All randomness derives from -seed
+// through per-job PRNG streams, so output — stdout and CSVs — is
+// byte-identical for any -workers value AND any backend/shard/peer/window
+// combination.
 //
 //	sweep -exp all                        # run everything (few minutes)
 //	sweep -exp boundary                   # one experiment
@@ -42,6 +47,8 @@
 //	sweep -exp all -backend process -shards 4  # shard over 4 subprocesses
 //	sweep -listen :9000                   # serve as a socket worker, then:
 //	sweep -exp all -backend socket -addrs host1:9000,host2:9000
+//	sweep -join host:9100                 # serve as a cluster worker, and:
+//	sweep -exp all -backend cluster -listen-workers :9100 -window 8
 package main
 
 import (
@@ -53,6 +60,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/multiradio/chanalloc"
 )
@@ -163,23 +171,54 @@ func main() {
 	}
 }
 
+// splitAddrs parses a comma-separated -addrs list: entries are trimmed of
+// surrounding whitespace, and an empty entry — a doubled, leading or
+// trailing comma — is a loud configuration error instead of a silently
+// skipped (or worse, dialed) "" address.
+func splitAddrs(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	list := make([]string, 0, len(parts))
+	for i, addr := range parts {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			return nil, fmt.Errorf("-addrs entry %d of %d is empty (stray comma in %q?)",
+				i+1, len(parts), s)
+		}
+		list = append(list, addr)
+	}
+	return list, nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment to run (see package doc) or all")
 	csvDir := fs.String("out", "", "directory for CSV output (omit to skip)")
 	seed := fs.Uint64("seed", 0, "root seed for every randomised experiment")
 	workers := fs.Int("workers", 0, "worker-pool size (<= 0 means NumCPU)")
-	backendName := fs.String("backend", "inprocess", "engine backend: inprocess, process or socket")
+	backendName := fs.String("backend", "inprocess", "engine backend: inprocess, process, socket or cluster")
 	shards := fs.Int("shards", 0, "worker subprocesses for -backend process (<= 0 means NumCPU)")
 	addrs := fs.String("addrs", "", "comma-separated worker addresses for -backend socket (host:port or unix:/path)")
 	listen := fs.String("listen", "", "serve as a socket worker on this address instead of running experiments")
+	join := fs.String("join", "", "serve as a cluster worker joined to this coordinator address instead of running experiments")
+	listenWorkers := fs.String("listen-workers", "", "accept cluster-worker joins on this address (-backend cluster)")
+	window := fs.Int("window", 8, "outstanding jobs per cluster worker (-backend cluster; 1 = lock-step)")
+	joinWait := fs.Duration("join-wait", 30*time.Second, "how long a cluster batch waits while no worker is joined")
+	authToken := fs.String("auth-token", "", "shared secret checked in every worker handshake")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *listen != "" {
 		fmt.Fprintf(out, "sweep: protocol v%d, serving %v on %s\n",
 			chanalloc.EngineProtocolVersion, chanalloc.EngineTaskNames(), *listen)
-		return chanalloc.EngineListenAndServe(*listen)
+		return chanalloc.EngineListenAndServe(*listen, chanalloc.ServeAuthToken(*authToken))
+	}
+	if *join != "" {
+		fmt.Fprintf(out, "sweep: protocol v%d, serving %v, joining %s\n",
+			chanalloc.EngineProtocolVersion, chanalloc.EngineTaskNames(), *join)
+		return chanalloc.EngineJoinAndServe(*join, chanalloc.JoinAuthToken(*authToken))
 	}
 	var backend chanalloc.EngineBackend
 	switch *backendName {
@@ -188,18 +227,38 @@ func run(args []string, out io.Writer) error {
 	case "process":
 		backend = chanalloc.NewProcessBackend(*shards)
 	case "socket":
-		var list []string
-		for _, addr := range strings.Split(*addrs, ",") {
-			if addr = strings.TrimSpace(addr); addr != "" {
-				list = append(list, addr)
-			}
+		list, err := splitAddrs(*addrs)
+		if err != nil {
+			return err
 		}
 		if len(list) == 0 {
 			return fmt.Errorf("-backend socket needs -addrs host:port[,host:port...]")
 		}
-		backend = chanalloc.NewSocketBackend(list...)
+		backend = chanalloc.NewSocketBackendWith(list,
+			chanalloc.SocketAuthToken(*authToken))
+	case "cluster":
+		if *listenWorkers == "" {
+			return fmt.Errorf("-backend cluster needs -listen-workers addr (workers join it with `engineworker -join addr`)")
+		}
+		// Loud validation: the option constructors ignore out-of-range
+		// values, which would silently run the defaults instead.
+		if *window < 1 {
+			return fmt.Errorf("-window must be >= 1 (1 means lock-step dispatch), got %d", *window)
+		}
+		if *joinWait <= 0 {
+			return fmt.Errorf("-join-wait must be positive, got %v", *joinWait)
+		}
+		c, err := chanalloc.NewClusterBackend(*listenWorkers,
+			chanalloc.ClusterWindow(*window),
+			chanalloc.ClusterJoinWait(*joinWait),
+			chanalloc.ClusterAuthToken(*authToken))
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		backend = c
 	default:
-		return fmt.Errorf("unknown backend %q (want inprocess, process or socket)", *backendName)
+		return fmt.Errorf("unknown backend %q (want inprocess, process, socket or cluster)", *backendName)
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

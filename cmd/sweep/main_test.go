@@ -265,6 +265,137 @@ func TestSocketBackendDoesNotChangeOutput(t *testing.T) {
 	}
 }
 
+// TestClusterBackendDoesNotChangeOutput extends the backend-conformance
+// contract to the membership backend: the suite dispatched over a cluster
+// coordinator — with this test process joined as a worker via the real
+// register/heartbeat/pipelined path — produces stdout and CSVs
+// byte-identical to the in-process run, at more than one window size.
+func TestClusterBackendDoesNotChangeOutput(t *testing.T) {
+	coord := "unix:" + t.TempDir() + "/coord.sock"
+	// The worker's join loop retries until the coordinator (created inside
+	// run() once the sweep starts) is listening, so starting it first is
+	// safe — join order is free under the membership model.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := chanalloc.EngineJoinAndServe(coord, chanalloc.JoinStop(stop)); err != nil {
+			t.Errorf("worker join: %v", err)
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	for _, tc := range []struct {
+		exp    string
+		window string
+	}{
+		{"theorem1", "1"},
+		{"distbatch", "8"},
+	} {
+		tc := tc
+		t.Run(tc.exp+"/window="+tc.window, func(t *testing.T) {
+			const seed = 7
+			baseOut, baseCSVs := sweepRun(t, tc.exp, seed, 2)
+			gotOut, gotCSVs := sweepRun(t, tc.exp, seed, 2,
+				"-backend", "cluster", "-listen-workers", coord, "-window", tc.window)
+			if gotOut != baseOut {
+				t.Fatalf("cluster backend changed stdout:\n--- inprocess\n%s\n--- cluster\n%s",
+					baseOut, gotOut)
+			}
+			if len(gotCSVs) != len(baseCSVs) || len(baseCSVs) == 0 {
+				t.Fatalf("cluster backend wrote %d CSVs, want %d", len(gotCSVs), len(baseCSVs))
+			}
+			for name, want := range baseCSVs {
+				if gotCSVs[name] != want {
+					t.Fatalf("cluster backend changed %s", name)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterBackendNeedsListenWorkers rejects -backend cluster without a
+// worker-join address.
+func TestClusterBackendNeedsListenWorkers(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "lemmas", "-backend", "cluster"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-listen-workers") {
+		t.Fatalf("err = %v, want the missing -listen-workers error", err)
+	}
+}
+
+// TestClusterBackendRejectsBadWindow: out-of-range -window / -join-wait
+// values are loud configuration errors, not silently-applied defaults.
+func TestClusterBackendRejectsBadWindow(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "lemmas", "-backend", "cluster",
+		"-listen-workers", "127.0.0.1:0", "-window", "0"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-window") {
+		t.Fatalf("err = %v, want the -window rejection", err)
+	}
+	err = run([]string{"-exp", "lemmas", "-backend", "cluster",
+		"-listen-workers", "127.0.0.1:0", "-join-wait", "0s"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-join-wait") {
+		t.Fatalf("err = %v, want the -join-wait rejection", err)
+	}
+}
+
+// TestSplitAddrs pins the -addrs parsing contract: whitespace around
+// entries is trimmed, and empty entries (stray commas) are loud errors
+// instead of silently dropped or dialed-as-"" addresses.
+func TestSplitAddrs(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    []string
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"   ", nil, false},
+		{"host:1", []string{"host:1"}, false},
+		{" host:1 , host:2 ", []string{"host:1", "host:2"}, false},
+		{"unix:/tmp/w.sock,host:2", []string{"unix:/tmp/w.sock", "host:2"}, false},
+		{"host:1,,host:2", nil, true},
+		{"host:1,", nil, true},
+		{",host:1", nil, true},
+		{" , ", nil, true},
+	} {
+		got, err := splitAddrs(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%q: want an empty-entry error, got %v", tc.in, got)
+			} else if !strings.Contains(err.Error(), "empty") {
+				t.Errorf("%q: error %v does not name the empty entry", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: unexpected error %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: got %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q: got %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestSocketBackendRejectsStrayCommaAddrs is the CLI surface of the
+// -addrs bugfix: a stray comma is a configuration error, not a silently
+// shortened peer list.
+func TestSocketBackendRejectsStrayCommaAddrs(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "lemmas", "-backend", "socket", "-addrs", "host:1,,host:2"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("err = %v, want the empty-entry rejection", err)
+	}
+}
+
 // TestUnknownBackend rejects a bad -backend value before any work runs.
 func TestUnknownBackend(t *testing.T) {
 	var b strings.Builder

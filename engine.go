@@ -2,6 +2,7 @@ package chanalloc
 
 import (
 	"net"
+	"time"
 
 	"github.com/multiradio/chanalloc/internal/core"
 	"github.com/multiradio/chanalloc/internal/des"
@@ -77,6 +78,20 @@ type (
 	// to remote workers speaking the same wire protocol, with a version
 	// handshake per connection and requeue of a dead peer's in-flight job.
 	SocketBackend = engine.Socket
+	// ClusterBackend is the membership backend: workers dial IN and
+	// register (joins are accepted mid-batch), heartbeats track liveness,
+	// silent workers are evicted with their in-flight jobs requeued, and
+	// dispatch streams a pipelined window of jobs per peer instead of
+	// lock-step send/receive.
+	ClusterBackend = engine.Cluster
+	// ClusterOption configures NewClusterBackend.
+	ClusterOption = engine.ClusterOption
+	// SocketOption configures NewSocketBackendWith.
+	SocketOption = engine.SocketOption
+	// JoinOption configures EngineJoinAndServe.
+	JoinOption = engine.JoinOption
+	// ServeOption configures EngineServe / EngineListenAndServe.
+	ServeOption = engine.ServeOption
 )
 
 // EngineProtocolVersion is the version of the coordinator<->worker wire
@@ -101,15 +116,71 @@ func NewProcessBackend(shards int) *ProcessBackend { return engine.NewProcess(sh
 // -listen). A dead peer's in-flight job is requeued for the survivors.
 func NewSocketBackend(addrs ...string) *SocketBackend { return engine.NewSocket(addrs...) }
 
+// NewSocketBackendWith is NewSocketBackend plus options.
+func NewSocketBackendWith(addrs []string, opts ...SocketOption) *SocketBackend {
+	return engine.NewSocketWith(addrs, opts...)
+}
+
+// SocketAuthToken sets the shared secret a socket coordinator announces in
+// its hello handshakes; the workers' -auth-token must match.
+func SocketAuthToken(token string) SocketOption { return engine.WithAuthToken(token) }
+
+// NewClusterBackend listens for worker joins on addr ("host:port", ":port",
+// "unix:/path" or a bare path) and returns the membership backend. Workers
+// join with EngineJoinAndServe or `engineworker -join addr`; joins are
+// accepted any time, including mid-batch. Close the backend when the whole
+// sweep is done — the membership outlives individual batches.
+func NewClusterBackend(addr string, opts ...ClusterOption) (*ClusterBackend, error) {
+	return engine.NewCluster(addr, opts...)
+}
+
+// ClusterWindow sets the per-peer window of outstanding jobs (default 8);
+// window 1 degenerates to lock-step dispatch. The window never affects
+// results, only wall clock.
+func ClusterWindow(n int) ClusterOption { return engine.WithClusterWindow(n) }
+
+// ClusterAuthToken sets the shared secret every joining worker must
+// present; a mismatch rejects the join loudly, like version skew.
+func ClusterAuthToken(token string) ClusterOption { return engine.WithClusterAuthToken(token) }
+
+// ClusterJoinWait bounds how long a batch waits while no capable worker is
+// connected (default 30s).
+func ClusterJoinWait(d time.Duration) ClusterOption { return engine.WithJoinWait(d) }
+
+// EngineJoinAndServe turns the process into a cluster worker: dial the
+// coordinator at addr, register this process's task registry, serve
+// pipelined jobs with heartbeats, and rejoin whenever the coordinator goes
+// away. Permanent rejections (auth token, protocol version) return
+// immediately; transient failures retry with backoff.
+func EngineJoinAndServe(addr string, opts ...JoinOption) error {
+	return engine.JoinAndServe(addr, opts...)
+}
+
+// JoinAuthToken sets the shared secret presented at registration.
+func JoinAuthToken(token string) JoinOption { return engine.WithJoinAuthToken(token) }
+
+// JoinAttempts bounds consecutive failed join attempts (default 0:
+// retry forever — a worker outlives its coordinators).
+func JoinAttempts(n int) JoinOption { return engine.WithJoinAttempts(n) }
+
+// JoinStop makes EngineJoinAndServe return when the channel closes.
+func JoinStop(stop <-chan struct{}) JoinOption { return engine.WithJoinStop(stop) }
+
+// ServeAuthToken sets the shared secret a listening socket worker requires
+// from every dialing coordinator.
+func ServeAuthToken(token string) ServeOption { return engine.WithServeAuthToken(token) }
+
 // EngineListenAndServe turns the process into a long-lived socket worker:
 // announce on addr ("host:port", ":port", "unix:/path" or a bare path),
 // answer the protocol handshake on each connection, and serve jobs of the
 // tasks registered in this process until it dies.
-func EngineListenAndServe(addr string) error { return engine.ListenAndServe(addr) }
+func EngineListenAndServe(addr string, opts ...ServeOption) error {
+	return engine.ListenAndServe(addr, opts...)
+}
 
 // EngineServe is EngineListenAndServe over an existing listener; it returns
 // nil when lis is closed.
-func EngineServe(lis net.Listener) error { return engine.Serve(lis) }
+func EngineServe(lis net.Listener, opts ...ServeOption) error { return engine.Serve(lis, opts...) }
 
 // EngineTaskNames lists the tasks registered in this process, sorted.
 func EngineTaskNames() []string { return engine.TaskNames() }

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRegistryAddRemoveTouch(t *testing.T) {
+	r := NewRegistry()
+	if r.Len() != 0 {
+		t.Fatalf("fresh registry has %d members", r.Len())
+	}
+	a := r.Add("peer-a", []string{"t1", "t2"}, nil)
+	b := r.Add("peer-b", []string{"t1"}, nil)
+	if a == b {
+		t.Fatal("member IDs must be unique")
+	}
+	members := r.Members()
+	if len(members) != 2 || members[0].ID != a || members[1].ID != b {
+		t.Fatalf("members %+v, want [a=%d b=%d] in join order", members, a, b)
+	}
+	if !members[0].Has("t2") || members[0].Has("t3") {
+		t.Fatalf("task membership wrong: %+v", members[0])
+	}
+	if !r.Touch(a) {
+		t.Fatal("touching a live member should succeed")
+	}
+	if !r.Remove(a) {
+		t.Fatal("removing a live member should succeed")
+	}
+	if r.Remove(a) {
+		t.Fatal("double remove must report absence")
+	}
+	if r.Touch(a) {
+		t.Fatal("touching a removed member must fail")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len %d after removal, want 1", r.Len())
+	}
+}
+
+// TestRegistryIDsNeverReused: a member that leaves and rejoins is a new
+// identity — in-flight bookkeeping keyed by ID can never confuse the two.
+func TestRegistryIDsNeverReused(t *testing.T) {
+	r := NewRegistry()
+	seen := map[int64]bool{}
+	for i := 0; i < 10; i++ {
+		id := r.Add(fmt.Sprintf("peer-%d", i), nil, nil)
+		if seen[id] {
+			t.Fatalf("ID %d reused", id)
+		}
+		seen[id] = true
+		r.Remove(id)
+	}
+}
+
+// TestRegistryChangedWakesWaiters pins the lost-wakeup guarantee: a channel
+// fetched before a change is closed by that change.
+func TestRegistryChangedWakesWaiters(t *testing.T) {
+	r := NewRegistry()
+	ch := r.Changed()
+	id := r.Add("peer", nil, nil)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Add must close the change channel fetched before it")
+	}
+	ch = r.Changed()
+	r.Remove(id)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("Remove must close the change channel")
+	}
+	// Touch is not a membership change.
+	id = r.Add("peer2", nil, nil)
+	ch = r.Changed()
+	r.Touch(id)
+	select {
+	case <-ch:
+		t.Fatal("Touch must not signal a membership change")
+	default:
+	}
+}
+
+// TestRegistryConcurrent exercises the table under contention (run with
+// -race).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := r.Add(fmt.Sprintf("w%d-%d", w, i), []string{"t"}, nil)
+				r.Touch(id)
+				r.Members()
+				<-time.After(0)
+				r.Remove(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("members leaked: %d", r.Len())
+	}
+}
+
+// TestMonitorEvictsSilentMembers: members past the silence deadline are
+// removed, their close hook pulled, and OnEvict observes them; fresh
+// members survive the sweep.
+func TestMonitorEvictsSilentMembers(t *testing.T) {
+	r := NewRegistry()
+	clock := time.Now()
+	r.now = func() time.Time { return clock }
+
+	var closedA atomic.Int64
+	a := r.Add("stale", []string{"t"}, func() error { closedA.Add(1); return nil })
+	clock = clock.Add(time.Minute) // a is now a minute silent
+	b := r.Add("fresh", []string{"t"}, func() error { t.Error("fresh member closed"); return nil })
+
+	var evicted []Member
+	m := &Monitor{
+		Registry:   r,
+		EvictAfter: 30 * time.Second,
+		OnEvict:    func(mem Member) { evicted = append(evicted, mem) },
+		now:        func() time.Time { return clock },
+	}
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("sweep evicted %d members, want 1", n)
+	}
+	if closedA.Load() != 1 {
+		t.Fatalf("stale member's close hook ran %d times, want 1", closedA.Load())
+	}
+	if len(evicted) != 1 || evicted[0].ID != a {
+		t.Fatalf("OnEvict saw %+v, want member %d", evicted, a)
+	}
+	if r.Len() != 1 || r.Members()[0].ID != b {
+		t.Fatalf("registry after sweep: %+v, want only member %d", r.Members(), b)
+	}
+	// A touch resets the clock: the survivor stays silent-free forever.
+	clock = clock.Add(25 * time.Second)
+	r.Touch(b)
+	clock = clock.Add(25 * time.Second)
+	if n := m.Sweep(); n != 0 {
+		t.Fatalf("sweep evicted %d members after a touch, want 0", n)
+	}
+}
+
+// TestMonitorRunStops: Run returns when stop closes.
+func TestMonitorRunStops(t *testing.T) {
+	m := &Monitor{Registry: NewRegistry(), EvictAfter: time.Hour, Tick: time.Millisecond}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { defer close(done); m.Run(stop) }()
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not stop")
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	calls := 0
+	base := errors.New("auth rejected")
+	err := Retry(nil, RetryConfig{}, func() error {
+		calls++
+		return Permanent(base)
+	})
+	if !errors.Is(err, base) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the permanent cause after one attempt", err, calls)
+	}
+	if IsPermanent(err) {
+		t.Fatal("Retry must unwrap the permanent marker")
+	}
+	if !IsPermanent(Permanent(base)) || IsPermanent(base) || Permanent(nil) != nil {
+		t.Fatal("Permanent/IsPermanent contract broken")
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Retry(nil, RetryConfig{Attempts: 3}, func() error {
+		calls++
+		return errors.New("transient")
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want failure after exactly 3 attempts", err, calls)
+	}
+}
+
+// TestRetrySuccessResetsBudget: a clean session (nil return) resets the
+// consecutive-failure counter, so a long-lived worker redials fresh.
+func TestRetrySuccessResetsBudget(t *testing.T) {
+	calls := 0
+	err := Retry(nil, RetryConfig{Attempts: 2}, func() error {
+		calls++
+		switch calls {
+		case 1:
+			return errors.New("transient")
+		case 2:
+			return nil // a full served session
+		case 3:
+			return errors.New("transient")
+		default:
+			return Permanent(errors.New("done"))
+		}
+	})
+	if err == nil || err.Error() != "done" || calls != 4 {
+		t.Fatalf("err=%v calls=%d: the clean session did not reset the budget", err, calls)
+	}
+}
+
+func TestRetryStopEndsLoop(t *testing.T) {
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(stop, RetryConfig{Wait: time.Hour}, func() error {
+			once.Do(func() { close(started) })
+			return errors.New("transient")
+		})
+	}()
+	<-started
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("stopped retry returned %v, want nil", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Retry did not observe stop during backoff")
+	}
+}

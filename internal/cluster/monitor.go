@@ -1,0 +1,71 @@
+package cluster
+
+import "time"
+
+// Monitor is the liveness half of the membership subsystem: it periodically
+// sweeps the registry and evicts members that have been silent — no
+// heartbeat, no result — for longer than EvictAfter. Eviction removes the
+// member from the registry, pulls its close hook to sever the transport,
+// and reports it through OnEvict; the connection's reader then observes the
+// severed transport and runs the same leave path an ordinary failure would,
+// requeueing any in-flight work.
+type Monitor struct {
+	// Registry is the membership table to sweep.
+	Registry *Registry
+	// EvictAfter is how long a member may stay silent before eviction.
+	EvictAfter time.Duration
+	// Tick is the sweep cadence; <= 0 defaults to EvictAfter / 4.
+	Tick time.Duration
+	// OnEvict, when set, observes each eviction (logging, stats).
+	OnEvict func(Member)
+	// now is test-overridable.
+	now func() time.Time
+}
+
+// Run sweeps until stop is closed. It is the caller's goroutine: a
+// coordinator starts one monitor per registry and closes stop at teardown.
+func (m *Monitor) Run(stop <-chan struct{}) {
+	tick := m.Tick
+	if tick <= 0 {
+		tick = m.EvictAfter / 4
+	}
+	if tick <= 0 {
+		tick = time.Second
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			m.Sweep()
+		}
+	}
+}
+
+// Sweep evicts every currently-silent member once and returns how many it
+// evicted. Exposed separately from Run so tests (and callers with their own
+// schedulers) can drive the liveness policy deterministically.
+func (m *Monitor) Sweep() int {
+	now := time.Now
+	if m.now != nil {
+		now = m.now
+	}
+	deadline := now().Add(-m.EvictAfter)
+	evicted := 0
+	for _, silent := range m.Registry.SilentSince(deadline) {
+		info, closeHook, ok := m.Registry.evict(silent.ID)
+		if !ok {
+			continue // left on its own between the snapshot and now
+		}
+		if closeHook != nil {
+			closeHook() //nolint:errcheck — the transport may already be down
+		}
+		if m.OnEvict != nil {
+			m.OnEvict(info)
+		}
+		evicted++
+	}
+	return evicted
+}

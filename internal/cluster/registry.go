@@ -1,0 +1,191 @@
+// Package cluster is the membership subsystem of the distributed engine:
+// a registry of workers that dialed in and registered with a coordinator,
+// liveness tracking driven by heartbeats (silent members are evicted so
+// their in-flight work can be requeued), and the retry loop a worker uses
+// to join — and rejoin — a coordinator that may not be up yet.
+//
+// The package is transport-agnostic on purpose: it tracks who is a member,
+// when each member was last heard from, and when to give up on one. The
+// wire protocol those members speak (the engine's NDJSON frames, see
+// internal/engine) stays with the code that owns the connections; this
+// package only holds the close hook it must pull when a member goes silent.
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Member is a snapshot of one registered worker.
+type Member struct {
+	// ID is the registry-assigned member identity, unique for the lifetime
+	// of the registry (never reused, so a member that drops and rejoins is
+	// distinguishable from one that never left).
+	ID int64
+	// Remote labels the member's origin for logs ("10.0.0.7:52114").
+	Remote string
+	// Tasks lists the engine tasks the member announced at registration.
+	Tasks []string
+	// Joined is when the member registered.
+	Joined time.Time
+	// LastSeen is when the member last produced any frame (heartbeat or
+	// result) — the liveness clock the Monitor evicts on.
+	LastSeen time.Time
+}
+
+// Has reports whether the member announced the named task.
+func (m Member) Has(task string) bool {
+	for _, t := range m.Tasks {
+		if t == task {
+			return true
+		}
+	}
+	return false
+}
+
+// member is the registry's mutable record behind a Member snapshot.
+type member struct {
+	info  Member
+	close func() error
+}
+
+// Registry is a thread-safe membership table with change notification.
+// Adding, removing and touching members is cheap; Members returns
+// snapshots, never live records, so callers can read them without racing
+// the registry's own bookkeeping.
+type Registry struct {
+	mu      sync.Mutex
+	nextID  int64
+	members map[int64]*member
+	// changed is closed and replaced on every membership change; Changed
+	// hands the current channel to waiters, turning the registry into a
+	// level-triggered wakeup source (a waiter that fetched the channel
+	// before the change still wakes, because that very channel was closed).
+	changed chan struct{}
+	now     func() time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		members: map[int64]*member{},
+		changed: make(chan struct{}),
+		now:     time.Now,
+	}
+}
+
+// bump wakes every waiter on the current change channel. Callers hold mu.
+func (r *Registry) bump() {
+	close(r.changed)
+	r.changed = make(chan struct{})
+}
+
+// Changed returns a channel that is closed at the next membership change
+// (join, leave, eviction). Fetch it before snapshotting Members: a change
+// that lands between the two closes the channel you already hold, so the
+// wakeup cannot be lost.
+func (r *Registry) Changed() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.changed
+}
+
+// Add registers a member and returns its ID. close is the hook Monitor
+// eviction pulls to sever the member's transport; it must be safe to call
+// more than once.
+func (r *Registry) Add(remote string, tasks []string, close func() error) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	now := r.now()
+	r.members[r.nextID] = &member{
+		info: Member{
+			ID:       r.nextID,
+			Remote:   remote,
+			Tasks:    append([]string(nil), tasks...),
+			Joined:   now,
+			LastSeen: now,
+		},
+		close: close,
+	}
+	r.bump()
+	return r.nextID
+}
+
+// Remove drops a member; it reports whether the member was present (false
+// means someone else — the eviction monitor, a failing reader — already
+// removed it, so cleanup paths can race benignly).
+func (r *Registry) Remove(id int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; !ok {
+		return false
+	}
+	delete(r.members, id)
+	r.bump()
+	return true
+}
+
+// Touch refreshes a member's liveness clock; it reports whether the member
+// is still registered.
+func (r *Registry) Touch(id int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[id]
+	if !ok {
+		return false
+	}
+	m.info.LastSeen = r.now()
+	return true
+}
+
+// Len reports the current member count.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.members)
+}
+
+// Members returns a snapshot of the current membership, ordered by ID
+// (join order).
+func (r *Registry) Members() []Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// evict removes the member and returns its snapshot and close hook; used by
+// the Monitor so that removal and transport teardown happen against the
+// same record even if the member re-registers under a new ID meanwhile.
+func (r *Registry) evict(id int64) (Member, func() error, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[id]
+	if !ok {
+		return Member{}, nil, false
+	}
+	delete(r.members, id)
+	r.bump()
+	return m.info, m.close, true
+}
+
+// SilentSince returns the members whose LastSeen is before the deadline —
+// the Monitor's eviction candidates.
+func (r *Registry) SilentSince(deadline time.Time) []Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Member
+	for _, m := range r.members {
+		if m.info.LastSeen.Before(deadline) {
+			out = append(out, m.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// permanentError marks a join failure that retrying cannot fix — an auth
+// rejection, a protocol-version mismatch, a malformed address. Retry stops
+// on these immediately instead of hammering a coordinator that will never
+// accept.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Retry treats it as non-retryable.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// RetryConfig shapes a Retry loop.
+type RetryConfig struct {
+	// Attempts bounds CONSECUTIVE failed attempts before giving up;
+	// 0 means unlimited. A successful session (attempt returning nil)
+	// resets the counter — a long-lived worker that served for an hour and
+	// lost its coordinator starts its redial budget fresh.
+	Attempts int
+	// Wait is the pause after the first failure; it doubles per consecutive
+	// failure up to MaxWait. Wait <= 0 retries immediately.
+	Wait time.Duration
+	// MaxWait caps the backoff; <= 0 means 10×Wait (or no cap if Wait is 0).
+	MaxWait time.Duration
+}
+
+// Retry runs attempt in a loop: each call is one full session (dial,
+// register, serve until the transport ends). A nil return means the session
+// ended cleanly (coordinator went away) — the loop redials, because workers
+// outlive coordinators. A failed attempt backs off exponentially. The loop
+// ends when stop closes (returns nil), when attempt returns a Permanent
+// error (returned unwrapped of the marker), or when Attempts consecutive
+// failures exhaust the budget (returns the last error).
+func Retry(stop <-chan struct{}, cfg RetryConfig, attempt func() error) error {
+	maxWait := cfg.MaxWait
+	if maxWait <= 0 {
+		maxWait = 10 * cfg.Wait
+	}
+	failures := 0
+	wait := cfg.Wait
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		err := attempt()
+		if err == nil {
+			failures = 0
+			wait = cfg.Wait
+			continue
+		}
+		var p *permanentError
+		if errors.As(err, &p) {
+			return p.err
+		}
+		failures++
+		if cfg.Attempts > 0 && failures >= cfg.Attempts {
+			return fmt.Errorf("giving up after %d attempts: %w", failures, err)
+		}
+		if wait > 0 {
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(wait):
+			}
+			if wait *= 2; wait > maxWait && maxWait > 0 {
+				wait = maxWait
+			}
+		}
+	}
+}

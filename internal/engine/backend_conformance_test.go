@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/multiradio/chanalloc/internal/des"
 )
@@ -61,7 +63,9 @@ func init() {
 // pool/shard/peer shapes each. Process shapes stay small (each entry spawns
 // that many subprocesses); socket shapes run the real worker loop — Serve
 // with handshake — over loopback TCP and a unix socket, with the test
-// process serving its own registered tasks.
+// process serving its own registered tasks; cluster shapes run the real
+// membership path — register handshake, heartbeats, pipelined windowed
+// dispatch — with JoinAndServe workers dialing a loopback coordinator.
 func conformanceBackends(t *testing.T) []struct {
 	desc    string
 	backend Backend
@@ -85,7 +89,51 @@ func conformanceBackends(t *testing.T) []struct {
 		// several peers concurrently must not show in the results.
 		{"socket/peers=3", NewSocket(tcp1, tcp2, tcp1), nil},
 		{"socket/unix", NewSocket(unix), nil},
+		// Every pinned window size: lock-step (1), moderate (4) and deeper
+		// than most batches (32). Neither the window nor the worker count
+		// may show in the results.
+		{"cluster/window=1", startCluster(t, 1, WithClusterWindow(1)), nil},
+		{"cluster/window=4/workers=2", startCluster(t, 2, WithClusterWindow(4)), nil},
+		{"cluster/window=32", startCluster(t, 1, WithClusterWindow(32)), nil},
 	}
+}
+
+// startCluster runs a loopback cluster coordinator with `workers` in-test
+// JoinAndServe workers dialed in and registered; the backend is torn down
+// with the test.
+func startCluster(t *testing.T, workers int, opts ...ClusterOption) *Cluster {
+	t.Helper()
+	c, err := NewCluster("127.0.0.1:0",
+		append([]ClusterOption{WithJoinWait(10 * time.Second)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := JoinAndServe(c.Addr(), WithJoinStop(stop), WithJoinRetryWait(10*time.Millisecond)); err != nil {
+				t.Errorf("worker join: %v", err)
+			}
+		}()
+	}
+	t.Cleanup(func() {
+		close(stop)
+		c.Close()
+		wg.Wait()
+	})
+	// Batches tolerate joining workers mid-batch, but waiting here keeps
+	// the conformance shapes honest about their advertised worker counts.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.reg.Len() < workers && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.reg.Len() < workers {
+		t.Fatalf("only %d of %d workers joined", c.reg.Len(), workers)
+	}
+	return c
 }
 
 // TestBackendConformanceResults is the Backend contract: for a fixed root

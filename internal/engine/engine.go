@@ -36,9 +36,10 @@ type Stats struct {
 	// JobTimes holds per-job execution times, indexed by job.
 	JobTimes []time.Duration
 	// Requeues counts jobs returned to the work queue after a peer failed —
-	// a dial that never connected or a transport lost mid-job (Socket
-	// backend only; always 0 elsewhere). Like the timings, it describes how
-	// the batch executed, never what it produced.
+	// a dial that never connected, a transport lost mid-job, or a cluster
+	// worker evicted for silence with a window of jobs in flight (Socket
+	// and Cluster backends only; always 0 elsewhere). Like the timings, it
+	// describes how the batch executed, never what it produced.
 	Requeues int
 }
 

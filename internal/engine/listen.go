@@ -11,46 +11,42 @@ import (
 	"time"
 )
 
+// serveConfig carries the options of Serve / ListenAndServe.
+type serveConfig struct {
+	token string
+}
+
+// ServeOption configures the listening worker loop.
+type ServeOption func(*serveConfig)
+
+// WithServeAuthToken sets the worker's shared secret: every hello handshake
+// must announce the same token or the connection is rejected loudly, like
+// version skew (default: no token, matching token-less coordinators only).
+func WithServeAuthToken(token string) ServeOption {
+	return func(c *serveConfig) { c.token = token }
+}
+
 // Serve runs the listening end of the socket worker loop: accept
-// connections, answer the hello handshake (rejecting version or task skew
-// loudly, see ProtocolVersion), then serve jobs with ServeWorker — the very
-// loop the Process backend drives over stdio — until the coordinator
-// half-closes the connection. Connections are served concurrently; Serve
-// returns nil when lis is closed.
-func Serve(lis net.Listener) error {
+// connections, answer the hello handshake (rejecting version, task or
+// auth-token skew loudly, see ProtocolVersion), then serve jobs with
+// ServeWorker — the very loop the Process backend drives over stdio — until
+// the coordinator half-closes the connection. Connections are served
+// concurrently; Serve returns nil when lis is closed.
+func Serve(lis net.Listener, opts ...ServeOption) error {
+	cfg := serveConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	var wg sync.WaitGroup
 	defer wg.Wait()
-	var backoff time.Duration
-	for {
-		conn, err := lis.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			// A long-lived worker must ride out transient accept failures
-			// (aborted connections, descriptor-pressure bursts) rather than
-			// die and strand every future batch — the net/http idiom.
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Temporary() {
-				if backoff == 0 {
-					backoff = 5 * time.Millisecond
-				} else if backoff *= 2; backoff > time.Second {
-					backoff = time.Second
-				}
-				fmt.Fprintf(os.Stderr, "engine worker: accept: %v; retrying in %v\n", err, backoff)
-				time.Sleep(backoff)
-				continue
-			}
-			return fmt.Errorf("engine: accepting worker connection: %w", err)
-		}
-		backoff = 0
+	return acceptConns(lis, "engine worker", func(conn net.Conn) {
 		wg.Add(1)
 		go func(conn net.Conn) {
 			defer wg.Done()
 			defer conn.Close()
 			enc := json.NewEncoder(conn)
 			dec := json.NewDecoder(conn)
-			if err := serverHandshake(enc, dec); err != nil {
+			if err := serverHandshake(enc, dec, cfg.token); err != nil {
 				fmt.Fprintf(os.Stderr, "engine worker: %s: %v\n", remoteName(conn), err)
 				return
 			}
@@ -58,6 +54,38 @@ func Serve(lis net.Listener) error {
 				fmt.Fprintf(os.Stderr, "engine worker: %s: %v\n", remoteName(conn), err)
 			}
 		}(conn)
+	})
+}
+
+// acceptConns accepts connections until lis closes (returning nil), handing
+// each to handle. A long-lived worker or coordinator must ride out
+// transient accept failures (aborted connections, descriptor-pressure
+// bursts) rather than die and strand every future batch — the net/http
+// idiom, with exponential backoff logged under the given label. Shared by
+// the socket worker loop (Serve) and the cluster coordinator.
+func acceptConns(lis net.Listener, label string, handle func(net.Conn)) error {
+	var backoff time.Duration
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				fmt.Fprintf(os.Stderr, "%s: accept: %v; retrying in %v\n", label, err, backoff)
+				time.Sleep(backoff)
+				continue
+			}
+			return fmt.Errorf("engine: accepting worker connection: %w", err)
+		}
+		backoff = 0
+		handle(conn)
 	}
 }
 
@@ -71,22 +99,35 @@ func serveConn(conn net.Conn, dec *json.Decoder) error {
 // "unix:/path" or a bare filesystem path (unix socket) — and serves worker
 // connections until the process dies. Unix socket files are removed first
 // so a restarted worker can rebind.
-func ListenAndServe(addr string) error {
-	network, address, err := splitWorkerAddr(addr)
+func ListenAndServe(addr string, opts ...ServeOption) error {
+	lis, err := listenWorkerAddr(addr)
 	if err != nil {
 		return err
 	}
+	defer lis.Close()
+	return Serve(lis, opts...)
+}
+
+// listenWorkerAddr announces on a worker-address string ("host:port",
+// ":port", "unix:/path" or a bare socket path), removing a stale unix
+// socket file first so a restarted process can rebind. Shared by the
+// socket worker loop (ListenAndServe) and the cluster coordinator
+// (NewCluster).
+func listenWorkerAddr(addr string) (net.Listener, error) {
+	network, address, err := splitWorkerAddr(addr)
+	if err != nil {
+		return nil, err
+	}
 	if network == "unix" {
 		if err := os.Remove(address); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return fmt.Errorf("engine: removing stale socket %s: %w", address, err)
+			return nil, fmt.Errorf("engine: removing stale socket %s: %w", address, err)
 		}
 	}
 	lis, err := net.Listen(network, address)
 	if err != nil {
-		return fmt.Errorf("engine: listening on %s: %w", addr, err)
+		return nil, fmt.Errorf("engine: listening on %s: %w", addr, err)
 	}
-	defer lis.Close()
-	return Serve(lis)
+	return lis, nil
 }
 
 // remoteName labels a connection for worker-side logs.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestWireFrameBytes pins the exact bytes of every frame kind. The pins are
@@ -49,6 +50,26 @@ func TestWireFrameBytes(t *testing.T) {
 			wireMsg{Type: wireHello, Version: ProtocolVersion, Tasks: []string{"a", "b"}},
 			`{"type":"hello","job":0,"seed":0,"version":1,"tasks":["a","b"]}`,
 		},
+		{
+			"hello frame with auth token",
+			wireMsg{Type: wireHello, Version: ProtocolVersion, Task: "t", Token: "s3cret"},
+			`{"type":"hello","job":0,"task":"t","seed":0,"version":1,"token":"s3cret"}`,
+		},
+		{
+			"register frame",
+			wireMsg{Type: wireRegister, Version: ProtocolVersion, Tasks: []string{"a"}, Token: "s3cret"},
+			`{"type":"register","job":0,"seed":0,"version":1,"tasks":["a"],"token":"s3cret"}`,
+		},
+		{
+			"register reply with heartbeat cadence",
+			wireMsg{Type: wireHello, Version: ProtocolVersion, Tasks: []string{"a"}, HeartbeatMillis: 2000},
+			`{"type":"hello","job":0,"seed":0,"version":1,"tasks":["a"],"heartbeat_ms":2000}`,
+		},
+		{
+			"heartbeat frame",
+			wireMsg{Type: wireHeartbeat},
+			`{"type":"heartbeat","job":0,"seed":0}`,
+		},
 	} {
 		got, err := json.Marshal(&tc.msg)
 		if err != nil {
@@ -85,8 +106,8 @@ func TestHandshake(t *testing.T) {
 	t.Run("accept", func(t *testing.T) {
 		client, server := newTestPipes(t)
 		srvErr := make(chan error, 1)
-		go func() { srvErr <- serverHandshake(server.enc, server.dec) }()
-		if err := clientHandshake(client.enc, client.dec, "conformance/draw"); err != nil {
+		go func() { srvErr <- serverHandshake(server.enc, server.dec, "") }()
+		if err := clientHandshake(client.enc, client.dec, "conformance/draw", ""); err != nil {
 			t.Fatalf("client: %v", err)
 		}
 		if err := <-srvErr; err != nil {
@@ -96,8 +117,8 @@ func TestHandshake(t *testing.T) {
 	t.Run("unknown task rejected", func(t *testing.T) {
 		client, server := newTestPipes(t)
 		srvErr := make(chan error, 1)
-		go func() { srvErr <- serverHandshake(server.enc, server.dec) }()
-		err := clientHandshake(client.enc, client.dec, "conformance/nope")
+		go func() { srvErr <- serverHandshake(server.enc, server.dec, "") }()
+		err := clientHandshake(client.enc, client.dec, "conformance/nope", "")
 		if err == nil || !strings.Contains(err.Error(), "unknown task") {
 			t.Fatalf("client error %v, want unknown-task rejection", err)
 		}
@@ -108,7 +129,7 @@ func TestHandshake(t *testing.T) {
 	t.Run("version skew rejected", func(t *testing.T) {
 		client, server := newTestPipes(t)
 		srvErr := make(chan error, 1)
-		go func() { srvErr <- serverHandshake(server.enc, server.dec) }()
+		go func() { srvErr <- serverHandshake(server.enc, server.dec, "") }()
 		// A future coordinator: same frame, higher version.
 		if err := client.enc.Encode(&wireMsg{Type: wireHello, Version: ProtocolVersion + 1}); err != nil {
 			t.Fatal(err)
@@ -124,10 +145,46 @@ func TestHandshake(t *testing.T) {
 			t.Fatal("server should reject version skew")
 		}
 	})
+	t.Run("matching auth tokens accepted", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		srvErr := make(chan error, 1)
+		go func() { srvErr <- serverHandshake(server.enc, server.dec, "s3cret") }()
+		if err := clientHandshake(client.enc, client.dec, "conformance/draw", "s3cret"); err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		if err := <-srvErr; err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	})
+	t.Run("auth token mismatch rejected", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		srvErr := make(chan error, 1)
+		go func() { srvErr <- serverHandshake(server.enc, server.dec, "s3cret") }()
+		err := clientHandshake(client.enc, client.dec, "conformance/draw", "wrong")
+		if err == nil || !strings.Contains(err.Error(), "auth token mismatch") {
+			t.Fatalf("client error %v, want auth-token rejection", err)
+		}
+		if strings.Contains(err.Error(), "s3cret") || strings.Contains(err.Error(), "wrong") {
+			t.Fatalf("rejection %v leaks a token value", err)
+		}
+		if err := <-srvErr; err == nil {
+			t.Fatal("server should report the rejection")
+		}
+	})
+	t.Run("token-less coordinator rejected by authenticated worker", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		srvErr := make(chan error, 1)
+		go func() { srvErr <- serverHandshake(server.enc, server.dec, "s3cret") }()
+		err := clientHandshake(client.enc, client.dec, "conformance/draw", "")
+		if err == nil || !strings.Contains(err.Error(), "auth token mismatch") {
+			t.Fatalf("client error %v, want auth-token rejection", err)
+		}
+		<-srvErr
+	})
 	t.Run("pre-versioning coordinator rejected", func(t *testing.T) {
 		client, server := newTestPipes(t)
 		srvErr := make(chan error, 1)
-		go func() { srvErr <- serverHandshake(server.enc, server.dec) }()
+		go func() { srvErr <- serverHandshake(server.enc, server.dec, "") }()
 		// An old coordinator speaks jobs immediately, no hello.
 		if err := client.enc.Encode(&wireMsg{Type: wireJob, Job: 0, Task: "t"}); err != nil {
 			t.Fatal(err)
@@ -141,6 +198,103 @@ func TestHandshake(t *testing.T) {
 		}
 		if err := <-srvErr; err == nil {
 			t.Fatal("server should reject a job before hello")
+		}
+	})
+}
+
+// TestRegisterHandshake exercises both ends of the cluster join exchange —
+// the hello handshake with the dialing direction reversed.
+func TestRegisterHandshake(t *testing.T) {
+	t.Run("accept advertises heartbeat cadence and tasks", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		type accepted struct {
+			tasks []string
+			err   error
+		}
+		srv := make(chan accepted, 1)
+		go func() {
+			tasks, err := acceptRegistration(server.enc, server.dec, "", 1500*time.Millisecond)
+			srv <- accepted{tasks, err}
+		}()
+		hb, err := registerHandshake(client.enc, client.dec, "")
+		if err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+		if hb != 1500*time.Millisecond {
+			t.Fatalf("worker adopted heartbeat %v, want 1.5s", hb)
+		}
+		got := <-srv
+		if got.err != nil {
+			t.Fatalf("coordinator: %v", got.err)
+		}
+		// The worker announces its full registry; the conformance tasks are
+		// registered in this test binary.
+		found := false
+		for _, task := range got.tasks {
+			if task == "conformance/draw" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registration announced %v, missing conformance/draw", got.tasks)
+		}
+	})
+	t.Run("auth token mismatch rejected", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		srvErr := make(chan error, 1)
+		go func() {
+			_, err := acceptRegistration(server.enc, server.dec, "s3cret", time.Second)
+			srvErr <- err
+		}()
+		_, err := registerHandshake(client.enc, client.dec, "wrong")
+		if err == nil || !strings.Contains(err.Error(), "auth token mismatch") {
+			t.Fatalf("worker error %v, want auth-token rejection", err)
+		}
+		if err := <-srvErr; err == nil {
+			t.Fatal("coordinator should report the rejection")
+		}
+	})
+	t.Run("version skew rejected", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		srvErr := make(chan error, 1)
+		go func() {
+			_, err := acceptRegistration(server.enc, server.dec, "", time.Second)
+			srvErr <- err
+		}()
+		// A future worker: same register frame, higher version.
+		if err := client.enc.Encode(&wireMsg{Type: wireRegister, Version: ProtocolVersion + 1}); err != nil {
+			t.Fatal(err)
+		}
+		var reply wireMsg
+		if err := client.dec.Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		if reply.Error == "" || !strings.Contains(reply.Error, "version mismatch") {
+			t.Fatalf("reply %+v, want a version-mismatch rejection", reply)
+		}
+		if err := <-srvErr; err == nil {
+			t.Fatal("coordinator should reject version skew")
+		}
+	})
+	t.Run("non-register first frame rejected", func(t *testing.T) {
+		client, server := newTestPipes(t)
+		srvErr := make(chan error, 1)
+		go func() {
+			_, err := acceptRegistration(server.enc, server.dec, "", time.Second)
+			srvErr <- err
+		}()
+		if err := client.enc.Encode(&wireMsg{Type: wireJob, Job: 0, Task: "t"}); err != nil {
+			t.Fatal(err)
+		}
+		var reply wireMsg
+		if err := client.dec.Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		if reply.Error == "" {
+			t.Fatalf("reply %+v, want a rejection", reply)
+		}
+		if err := <-srvErr; err == nil {
+			t.Fatal("coordinator should reject a job before register")
 		}
 	})
 }

@@ -33,6 +33,7 @@ type Socket struct {
 	redials     int
 	redialWait  time.Duration
 	teardown    time.Duration
+	token       string
 }
 
 // SocketOption configures a Socket backend.
@@ -55,6 +56,14 @@ func WithRedials(n int) SocketOption {
 // WithRedialWait sets the pause before a re-dial attempt (default 100ms).
 func WithRedialWait(d time.Duration) SocketOption {
 	return func(s *Socket) { s.redialWait = d }
+}
+
+// WithAuthToken sets the shared secret announced in the hello handshake.
+// Workers started with the same token accept; any disagreement — wrong
+// token, or only one side configured — fails loudly at connect time, like
+// version skew (default: no token).
+func WithAuthToken(token string) SocketOption {
+	return func(s *Socket) { s.token = token }
 }
 
 // WithSocketTeardown bounds the polite end-of-batch teardown per peer
@@ -110,7 +119,7 @@ func (s *Socket) dial(addr, task string) (*socketPeer, error) {
 		return nil, fmt.Errorf("dialing %s: %w", addr, err)
 	}
 	p := &socketPeer{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
-	if err := clientHandshake(p.enc, p.dec, task); err != nil {
+	if err := clientHandshake(p.enc, p.dec, task, s.token); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("handshake with %s: %w", addr, err)
 	}

@@ -67,7 +67,7 @@ func startFlakyWorker(t *testing.T, serveJobs int) string {
 		defer conn.Close()
 		defer lis.Close()
 		enc, dec := json.NewEncoder(conn), json.NewDecoder(conn)
-		if err := serverHandshake(enc, dec); err != nil {
+		if err := serverHandshake(enc, dec, ""); err != nil {
 			return
 		}
 		for served := 0; ; served++ {

@@ -21,9 +21,11 @@ const WorkerEnv = "CHANALLOC_ENGINE_WORKER"
 // JSON object on one line (the newline-delimited JSON idiom of
 // internal/dist); unknown fields are ignored so the protocol can grow.
 const (
-	wireHello  = "hello"  // both directions: version/task handshake (socket transport)
-	wireJob    = "job"    // coordinator -> worker: one task job to run
-	wireResult = "result" // worker -> coordinator: the job's value or error
+	wireHello     = "hello"     // both directions: version/task handshake (socket transport)
+	wireJob       = "job"       // coordinator -> worker: one task job to run
+	wireResult    = "result"    // worker -> coordinator: the job's value or error
+	wireRegister  = "register"  // worker -> coordinator: cluster membership registration
+	wireHeartbeat = "heartbeat" // worker -> coordinator: cluster liveness beacon
 )
 
 // wireMsg is the single frame type of the worker protocol; fields are
@@ -44,9 +46,15 @@ type wireMsg struct {
 	// result (Error doubles as the rejection reason of a hello reply)
 	Value json.RawMessage `json:"value,omitempty"`
 	Error string          `json:"error,omitempty"`
-	// hello
+	// hello and register
 	Version int      `json:"version,omitempty"`
 	Tasks   []string `json:"tasks,omitempty"`
+	// hello and register: shared-secret auth. Purely additive: both ends
+	// default to no token, and a mismatch is a loud handshake rejection.
+	Token string `json:"token,omitempty"`
+	// hello reply to a register: the heartbeat cadence the coordinator
+	// expects, in milliseconds (0 leaves the worker's default in place).
+	HeartbeatMillis int `json:"heartbeat_ms,omitempty"`
 }
 
 // RunWorkerIfRequested turns the current process into an engine worker when
@@ -91,18 +99,27 @@ func serveWorker(dec *json.Decoder, enc *json.Encoder) error {
 		if m.Type != wireJob {
 			return fmt.Errorf("unexpected frame %q, want %q", m.Type, wireJob)
 		}
-		reply := wireMsg{Type: wireResult, Job: m.Job}
-		if fn, ok := taskByName(m.Task); !ok {
-			reply.Error = fmt.Sprintf("unknown task %q (registered: %v)", m.Task, TaskNames())
-		} else if out, err := fn(m.Params, m.Job, des.NewRNG(m.Seed)); err != nil {
-			reply.Error = err.Error()
-		} else if value, err := json.Marshal(out); err != nil {
-			reply.Error = fmt.Sprintf("encoding result: %v", err)
-		} else {
-			reply.Value = value
-		}
-		if err := enc.Encode(&reply); err != nil {
+		reply := executeJob(&m)
+		if err := enc.Encode(reply); err != nil {
 			return fmt.Errorf("sending result for job %d: %w", m.Job, err)
 		}
 	}
+}
+
+// executeJob runs one job frame against the process-global task registry
+// and builds its result frame. Job failures are replies, never transport
+// failures — shared by the stdio/socket worker loop and the cluster
+// worker's pipelined executor.
+func executeJob(m *wireMsg) *wireMsg {
+	reply := &wireMsg{Type: wireResult, Job: m.Job}
+	if fn, ok := taskByName(m.Task); !ok {
+		reply.Error = fmt.Sprintf("unknown task %q (registered: %v)", m.Task, TaskNames())
+	} else if out, err := fn(m.Params, m.Job, des.NewRNG(m.Seed)); err != nil {
+		reply.Error = err.Error()
+	} else if value, err := json.Marshal(out); err != nil {
+		reply.Error = fmt.Sprintf("encoding result: %v", err)
+	} else {
+		reply.Value = value
+	}
+	return reply
 }

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+func TestCogMOOScenario(t *testing.T) {
+	r := ratefn.NewTDMA(1)
+	s, err := ByName("cogmoo:5,4,2", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "cogmoo:5,4,2" {
+		t.Fatalf("name %q, want the canonical cogmoo:5,4,2", s.Name)
+	}
+	if s.Game == nil || s.Alloc == nil {
+		t.Fatal("cogmoo must pin both the game and the start allocation")
+	}
+	if s.Game.Users() != 5 || s.Game.Channels() != 4 || s.Game.Radios() != 1 {
+		t.Fatalf("game is %dx%d with k=%d, want 5 single-radio users over 4 channels",
+			s.Game.Users(), s.Game.Channels(), s.Game.Radios())
+	}
+	// Crowded bands are legal: more users than channels forces sharing.
+	if _, err := ByName("cogmoo:6,3,1", r); err != nil {
+		t.Fatalf("N > C must be allowed in a cognitive band: %v", err)
+	}
+	// Default seed is 1, spelled out in the canonical name.
+	s3, err := ByName("cogmoo:5,4", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Name != "cogmoo:5,4,1" {
+		t.Fatalf("default-seed name %q, want cogmoo:5,4,1", s3.Name)
+	}
+}
+
+func TestCogMOOReproducible(t *testing.T) {
+	r := ratefn.NewTDMA(1)
+	s1, err := ByName("cogmoo:5,4,2", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ByName("cogmoo:5,4,2", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Alloc.String() != s2.Alloc.String() {
+		t.Fatal("cogmoo start allocation is not reproducible")
+	}
+	m1, err := NewCogMOOObjectives(5, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewCogMOOObjectives(5, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Interference {
+		for c := range m1.Interference[i] {
+			if m1.Interference[i][c] != m2.Interference[i][c] {
+				t.Fatalf("interference weights differ at (%d,%d)", i, c)
+			}
+			if w := m1.Interference[i][c]; w < 0 || w >= 1 {
+				t.Fatalf("weight (%d,%d)=%v outside [0,1)", i, c, w)
+			}
+		}
+	}
+	// A different seed draws a different objective landscape.
+	m3, err := NewCogMOOObjectives(5, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range m1.Interference {
+		for c := range m1.Interference[i] {
+			if m1.Interference[i][c] != m3.Interference[i][c] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed change did not move the interference weights")
+	}
+}
+
+func TestCogMOOObjectives(t *testing.T) {
+	r := ratefn.NewTDMA(1)
+	s, err := ByName("cogmoo:5,4,2", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewCogMOOObjectives(5, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interference cost: non-negative, and equal to the hand-computed sum.
+	cost := m.InterferenceCost(s.Alloc)
+	if cost < 0 {
+		t.Fatalf("interference cost %v < 0", cost)
+	}
+	manual := 0.0
+	for i := 0; i < s.Game.Users(); i++ {
+		for c := 0; c < s.Game.Channels(); c++ {
+			manual += float64(s.Alloc.Radios(i, c)) * m.Interference[i][c]
+		}
+	}
+	if math.Abs(cost-manual) > 1e-12 {
+		t.Fatalf("InterferenceCost %v, manual sum %v", cost, manual)
+	}
+	// Jain's index: 1 for equal shares, 1/N for a monopoly, within (0,1].
+	if f := m.Fairness([]float64{2, 2, 2, 2}); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("equal shares give Jain %v, want 1", f)
+	}
+	if f := m.Fairness([]float64{5, 0, 0, 0, 0}); math.Abs(f-0.2) > 1e-12 {
+		t.Fatalf("monopoly gives Jain %v, want 1/N = 0.2", f)
+	}
+	if f := m.Fairness(nil); f != 1 {
+		t.Fatalf("empty utilities give Jain %v, want the neutral 1", f)
+	}
+	if f := m.Fairness(s.Game.Utilities(s.Alloc)); f <= 0 || f > 1+1e-12 {
+		t.Fatalf("Jain %v outside (0,1]", f)
+	}
+	// The scalarisation responds to its weights in the documented
+	// directions: throughput and fairness reward, interference penalises.
+	base := m.Score(s.Game, s.Alloc, 1, 1, 1)
+	if math.IsNaN(base) || math.IsInf(base, 0) {
+		t.Fatalf("score %v not finite", base)
+	}
+	if cost > 0 {
+		heavier := m.Score(s.Game, s.Alloc, 1, 1, 2)
+		if heavier >= base {
+			t.Fatalf("raising the interference weight did not lower the score (%v -> %v)", base, heavier)
+		}
+	}
+	if s.Game.Welfare(s.Alloc) > 0 {
+		richer := m.Score(s.Game, s.Alloc, 2, 1, 1)
+		if richer <= base {
+			t.Fatalf("raising the throughput weight did not raise the score (%v -> %v)", base, richer)
+		}
+	}
+}
+
+func TestCogMOOParseErrors(t *testing.T) {
+	r := ratefn.NewTDMA(1)
+	for _, name := range []string{
+		"cogmoo",         // no parameters
+		"cogmoo:5",       // missing channels
+		"cogmoo:5,4,1,9", // too many parameters
+		"cogmoo:x,4",     // malformed integer
+		"cogmoo:0,4",     // no users
+		"cogmoo:5,0",     // no channels
+		"cogmoo:5,4,-2",  // negative seed
+	} {
+		if _, err := ByName(name, r); err == nil {
+			t.Errorf("%s: want a parse error", name)
+		} else if !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: error %v does not name the scenario", name, err)
+		}
+	}
+}

@@ -152,6 +152,11 @@ func init() {
 		Description: "N single-radio users over C >= N channels, random start; interference-free target regime (arXiv:1603.03956)",
 	}, generateBistritz)
 	mustRegister(Family{
+		Name:        "cogmoo",
+		Usage:       "cogmoo:N,C[,seed]",
+		Description: "multi-objective cognitive band: per-user primary interference + fairness objectives (arXiv:2004.05767)",
+	}, generateCogMOO)
+	mustRegister(Family{
 		Name:        "mesh",
 		Usage:       "mesh[:routers,channels,radios]",
 		Description: "mesh-backhaul routers in one collision domain, naive static start pinned",

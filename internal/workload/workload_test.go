@@ -87,6 +87,8 @@ func exampleName(family string) string {
 		return "hetero:5,3,2,2,1"
 	case "bistritz":
 		return "bistritz:4,6,3"
+	case "cogmoo":
+		return "cogmoo:5,4,2"
 	default:
 		return family
 	}
