@@ -39,6 +39,7 @@ func benchGame(b *testing.B, users, channels, radios int, r chanalloc.RateFunc) 
 // BenchmarkFigure1LemmaAudit regenerates the paper's Figure 1/2 walkthrough:
 // build the example allocation and produce one witness per violated rule.
 func BenchmarkFigure1LemmaAudit(b *testing.B) {
+	b.ReportAllocs()
 	s, err := chanalloc.ScenarioFigure1(chanalloc.TDMA(1))
 	if err != nil {
 		b.Fatal(err)
@@ -53,6 +54,7 @@ func BenchmarkFigure1LemmaAudit(b *testing.B) {
 
 // BenchmarkFigure1Render regenerates the Figure 2 strategy-matrix rendering.
 func BenchmarkFigure1Render(b *testing.B) {
+	b.ReportAllocs()
 	s, err := chanalloc.ScenarioFigure1(chanalloc.TDMA(1))
 	if err != nil {
 		b.Fatal(err)
@@ -68,6 +70,7 @@ func BenchmarkFigure1Render(b *testing.B) {
 // BenchmarkFigure3Curves regenerates Figure 3: all three R(k_c) curves for
 // k = 1..30 (TDMA constant, optimal CSMA/CA, practical CSMA/CA).
 func BenchmarkFigure3Curves(b *testing.B) {
+	b.ReportAllocs()
 	p := chanalloc.Default80211b()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -92,6 +95,7 @@ func BenchmarkFigure3Curves(b *testing.B) {
 // BenchmarkFigure4Verify regenerates Figure 4's claim: the exception-user
 // allocation passes both the Theorem 1 checker and the exact oracle.
 func BenchmarkFigure4Verify(b *testing.B) {
+	b.ReportAllocs()
 	s, err := chanalloc.ScenarioFigure4(chanalloc.TDMA(1))
 	if err != nil {
 		b.Fatal(err)
@@ -110,6 +114,7 @@ func BenchmarkFigure4Verify(b *testing.B) {
 
 // BenchmarkFigure5Verify regenerates Figure 5's claim (NE, no exception).
 func BenchmarkFigure5Verify(b *testing.B) {
+	b.ReportAllocs()
 	s, err := chanalloc.ScenarioFigure5(chanalloc.TDMA(1))
 	if err != nil {
 		b.Fatal(err)
@@ -129,6 +134,7 @@ func BenchmarkFigure5Verify(b *testing.B) {
 // BenchmarkAlgorithm1 measures the centralised allocation across sizes
 // (experiment E4's engine).
 func BenchmarkAlgorithm1(b *testing.B) {
+	b.ReportAllocs()
 	sizes := []struct{ n, c, k int }{
 		{7, 6, 4},
 		{16, 12, 8},
@@ -137,6 +143,7 @@ func BenchmarkAlgorithm1(b *testing.B) {
 	}
 	for _, sz := range sizes {
 		b.Run(fmt.Sprintf("N%d_C%d_k%d", sz.n, sz.c, sz.k), func(b *testing.B) {
+			b.ReportAllocs()
 			g := benchGame(b, sz.n, sz.c, sz.k, chanalloc.TDMA(1))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -148,8 +155,11 @@ func BenchmarkAlgorithm1(b *testing.B) {
 	}
 }
 
-// BenchmarkBestResponseDP measures the exact best-response dynamic program.
+// BenchmarkBestResponseDP measures the exact best-response dynamic program
+// in its steady-state form: one reused workspace, zero allocations per
+// operation (the acceptance bar for the allocation-free kernel).
 func BenchmarkBestResponseDP(b *testing.B) {
+	b.ReportAllocs()
 	sizes := []struct{ c, k int }{
 		{6, 4},
 		{16, 8},
@@ -157,14 +167,16 @@ func BenchmarkBestResponseDP(b *testing.B) {
 	}
 	for _, sz := range sizes {
 		b.Run(fmt.Sprintf("C%d_k%d", sz.c, sz.k), func(b *testing.B) {
+			b.ReportAllocs()
 			ext := make([]int, sz.c)
 			for c := range ext {
 				ext[c] = (c*7)%5 + 1
 			}
 			r := chanalloc.TDMA(1)
+			ws := chanalloc.NewWorkspace()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := chanalloc.BestResponseToLoads(r, ext, sz.k); err != nil {
+				if _, _, err := chanalloc.BestResponseToLoadsInto(ws, r, ext, sz.k); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -172,8 +184,26 @@ func BenchmarkBestResponseDP(b *testing.B) {
 	}
 }
 
+// BenchmarkBestResponseDPOneShot is the allocating convenience form, kept
+// so the benchdiff trajectory shows the one-shot vs workspace gap.
+func BenchmarkBestResponseDPOneShot(b *testing.B) {
+	b.ReportAllocs()
+	ext := make([]int, 16)
+	for c := range ext {
+		ext[c] = (c*7)%5 + 1
+	}
+	r := chanalloc.TDMA(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := chanalloc.BestResponseToLoads(r, ext, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTheoremNE measures the closed-form NE checker on a large NE.
 func BenchmarkTheoremNE(b *testing.B) {
+	b.ReportAllocs()
 	g := benchGame(b, 64, 32, 16, chanalloc.TDMA(1))
 	ne, err := chanalloc.Algorithm1(g)
 	if err != nil {
@@ -187,16 +217,21 @@ func BenchmarkTheoremNE(b *testing.B) {
 	}
 }
 
-// BenchmarkExactOracle measures the full best-response NE oracle.
+// BenchmarkExactOracle measures the full best-response NE oracle in its
+// steady-state form (screen-then-prove over a reused workspace); the input
+// is an equilibrium, so every run pays the worst case: a full screen plus
+// the per-user DP proof.
 func BenchmarkExactOracle(b *testing.B) {
+	b.ReportAllocs()
 	g := benchGame(b, 16, 12, 8, chanalloc.TDMA(1))
 	ne, err := chanalloc.Algorithm1(g)
 	if err != nil {
 		b.Fatal(err)
 	}
+	ws := chanalloc.NewWorkspace()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ok, err := g.IsNashEquilibrium(ne)
+		ok, err := g.IsNashEquilibriumWith(ws, ne)
 		if err != nil || !ok {
 			b.Fatalf("oracle: %v %v", ok, err)
 		}
@@ -206,6 +241,7 @@ func BenchmarkExactOracle(b *testing.B) {
 // BenchmarkBianchiSolve measures the DCF fixed-point solver (Figure 3's
 // inner loop).
 func BenchmarkBianchiSolve(b *testing.B) {
+	b.ReportAllocs()
 	p := chanalloc.Default80211b()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -218,6 +254,7 @@ func BenchmarkBianchiSolve(b *testing.B) {
 // BenchmarkCSMASimulator measures the slot-level MAC simulator (experiment
 // E5's engine), in slots per second.
 func BenchmarkCSMASimulator(b *testing.B) {
+	b.ReportAllocs()
 	p := chanalloc.Default80211b()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -230,6 +267,7 @@ func BenchmarkCSMASimulator(b *testing.B) {
 // BenchmarkBestResponseDynamics measures convergence from a random start
 // (experiment E6's engine).
 func BenchmarkBestResponseDynamics(b *testing.B) {
+	b.ReportAllocs()
 	g := benchGame(b, 16, 12, 6, chanalloc.TDMA(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -247,6 +285,7 @@ func BenchmarkBestResponseDynamics(b *testing.B) {
 // BenchmarkDistributedProtocol measures a full token-ring run over
 // in-process pipes (experiment E7's engine).
 func BenchmarkDistributedProtocol(b *testing.B) {
+	b.ReportAllocs()
 	r := chanalloc.TDMA(1)
 	g := benchGame(b, 8, 6, 3, r)
 	b.ResetTimer()
@@ -267,6 +306,7 @@ func BenchmarkDistributedProtocol(b *testing.B) {
 // BenchmarkWelfareOptimum measures the all-placed welfare DP (experiment
 // E9's engine).
 func BenchmarkWelfareOptimum(b *testing.B) {
+	b.ReportAllocs()
 	g := benchGame(b, 16, 12, 8, chanalloc.HarmonicRate(1, 0.5))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -279,6 +319,7 @@ func BenchmarkWelfareOptimum(b *testing.B) {
 // BenchmarkHeteroAlgorithm1 measures the heterogeneous-budget allocation
 // (experiment E11's engine).
 func BenchmarkHeteroAlgorithm1(b *testing.B) {
+	b.ReportAllocs()
 	budgets := make([]int, 64)
 	for i := range budgets {
 		budgets[i] = 1 + i%16
@@ -298,6 +339,7 @@ func BenchmarkHeteroAlgorithm1(b *testing.B) {
 // BenchmarkBianchiRTSCTS measures the RTS/CTS fixed point used by the
 // Figure 3 extension series.
 func BenchmarkBianchiRTSCTS(b *testing.B) {
+	b.ReportAllocs()
 	p := chanalloc.Bianchi1Mbps().WithRTSCTS()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -310,6 +352,7 @@ func BenchmarkBianchiRTSCTS(b *testing.B) {
 // BenchmarkSimultaneousDynamics measures simultaneous best response with
 // inertia 0.5 (E6's slowest process).
 func BenchmarkSimultaneousDynamics(b *testing.B) {
+	b.ReportAllocs()
 	g := benchGame(b, 8, 6, 3, chanalloc.TDMA(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -324,9 +367,11 @@ func BenchmarkSimultaneousDynamics(b *testing.B) {
 // sharded over the engine, at one worker (the serial baseline cost plus
 // pool overhead) and at NumCPU workers.
 func BenchmarkEnumerateNEParallel(b *testing.B) {
+	b.ReportAllocs()
 	g := benchGame(b, 4, 4, 2, chanalloc.TDMA(1))
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				nes, err := chanalloc.EnumerateNEParallel(g, 10_000_000, workers)
 				if err != nil {
@@ -343,6 +388,7 @@ func BenchmarkEnumerateNEParallel(b *testing.B) {
 // BenchmarkEnumerateNESerial is the unsharded baseline for
 // BenchmarkEnumerateNEParallel.
 func BenchmarkEnumerateNESerial(b *testing.B) {
+	b.ReportAllocs()
 	g := benchGame(b, 4, 4, 2, chanalloc.TDMA(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -359,9 +405,11 @@ func BenchmarkEnumerateNESerial(b *testing.B) {
 // BenchmarkDynamicsBatchParallel measures a 32-replicate best-response
 // batch (experiment E6's engine path) at one worker vs NumCPU workers.
 func BenchmarkDynamicsBatchParallel(b *testing.B) {
+	b.ReportAllocs()
 	g := benchGame(b, 16, 12, 6, chanalloc.TDMA(1))
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := chanalloc.RunBatch(g, chanalloc.BatchSpec{
 					Process:    chanalloc.BestResponseProcess,
@@ -383,6 +431,7 @@ func BenchmarkDynamicsBatchParallel(b *testing.B) {
 // BenchmarkPotential measures the congestion-potential evaluation used to
 // trace dynamics.
 func BenchmarkPotential(b *testing.B) {
+	b.ReportAllocs()
 	g := benchGame(b, 64, 32, 16, chanalloc.TDMA(1))
 	ne, err := chanalloc.Algorithm1(g)
 	if err != nil {
@@ -432,8 +481,10 @@ func benchDispatchBatch(b *testing.B, backend chanalloc.EngineBackend, jobs int)
 // (EXPERIMENTS.md "Work-queue and window semantics"). cmd/benchjson and
 // cmd/benchdiff track these ops PR-over-PR like every other benchmark.
 func BenchmarkDispatch(b *testing.B) {
+	b.ReportAllocs()
 	const jobs = 64
 	b.Run("lockstep", func(b *testing.B) {
+		b.ReportAllocs()
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			b.Fatal(err)
@@ -450,6 +501,7 @@ func BenchmarkDispatch(b *testing.B) {
 	})
 	for _, window := range []int{1, 8, 32} {
 		b.Run(fmt.Sprintf("pipelined/window%d", window), func(b *testing.B) {
+			b.ReportAllocs()
 			backend, err := chanalloc.NewClusterBackend("127.0.0.1:0",
 				chanalloc.ClusterWindow(window))
 			if err != nil {

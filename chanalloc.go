@@ -66,6 +66,15 @@ type (
 	TieBreak = core.TieBreak
 	// RateFunc is the channel rate function R(k_c).
 	RateFunc = ratefn.Func
+	// Workspace holds the reusable scratch of the best-response DP; hold
+	// one per goroutine and pass it to the *Into/*With entry points
+	// (Game.BestResponseInto, Game.IsNashEquilibriumWith, ...) for
+	// zero-allocation steady state.
+	Workspace = core.Workspace
+	// RateView is a game's precomputed, lock-free rate table (R over the
+	// bounded load domain plus the best-response share plane); see
+	// Game.View.
+	RateView = core.RateView
 )
 
 // Tie-break policies for Algorithm 1.
@@ -135,6 +144,17 @@ func CheckAllLemmas(g *Game, a *Alloc) []*Violation {
 // against fixed external channel loads.
 func BestResponseToLoads(rate RateFunc, ext []int, k int) ([]int, float64, error) {
 	return core.BestResponseToLoads(rate, ext, k)
+}
+
+// NewWorkspace returns an empty best-response workspace; its buffers are
+// sized on first use and reused across calls.
+func NewWorkspace() *Workspace { return core.NewWorkspace() }
+
+// BestResponseToLoadsInto is the allocation-free form of
+// BestResponseToLoads: the DP runs inside ws and the returned row aliases
+// it (copy to retain). Reuse one workspace across many load vectors.
+func BestResponseToLoadsInto(ws *Workspace, rate RateFunc, ext []int, k int) ([]int, float64, error) {
+	return core.BestResponseToLoadsInto(ws, rate, ext, k)
 }
 
 // OptimalWelfareAllPlaced computes the maximum total rate over allocations

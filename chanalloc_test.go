@@ -277,3 +277,74 @@ func TestPublicDCFSolvers(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPublicWorkspaceKernel exercises the allocation-free facade: workspace
+// entry points agree with the one-shot forms, returned rows alias the
+// workspace (so wrappers must copy), and FreezeRate snapshots match the
+// inner curve exactly.
+func TestPublicWorkspaceKernel(t *testing.T) {
+	g, err := chanalloc.NewGame(4, 4, 2, chanalloc.TDMA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := chanalloc.RandomAlloc(g, 7)
+	ws := chanalloc.NewWorkspace()
+	for i := 0; i < g.Users(); i++ {
+		wantRow, wantVal, err := g.BestResponse(a, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRow, gotVal, err := g.BestResponseInto(ws, a, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotVal != wantVal {
+			t.Fatalf("user %d: workspace value %v, one-shot %v", i, gotVal, wantVal)
+		}
+		for c := range wantRow {
+			if gotRow[c] != wantRow[c] {
+				t.Fatalf("user %d: workspace row %v, one-shot %v", i, gotRow, wantRow)
+			}
+		}
+	}
+	oneShot, err := g.IsNashEquilibrium(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	screened, err := g.IsNashEquilibriumWith(ws, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneShot != screened {
+		t.Fatalf("screened oracle %v, one-shot %v", screened, oneShot)
+	}
+
+	ext := []int{2, 0, 1, 3}
+	rowA, valA, err := chanalloc.BestResponseToLoads(chanalloc.TDMA(1), ext, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowB, valB, err := chanalloc.BestResponseToLoadsInto(ws, chanalloc.TDMA(1), ext, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valA != valB {
+		t.Fatalf("loads DP: workspace value %v, one-shot %v", valB, valA)
+	}
+	for c := range rowA {
+		if rowA[c] != rowB[c] {
+			t.Fatalf("loads DP rows differ: %v vs %v", rowA, rowB)
+		}
+	}
+
+	inner := chanalloc.HarmonicRate(5, 0.5)
+	frozen, err := chanalloc.FreezeRate(inner, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 16; k++ {
+		if frozen.Rate(k) != inner.Rate(k) {
+			t.Fatalf("frozen Rate(%d) = %v, inner %v", k, frozen.Rate(k), inner.Rate(k))
+		}
+	}
+}

@@ -1,8 +1,8 @@
 // Command benchdiff compares two BENCH_<date>.json reports (the artifacts
-// cmd/benchjson writes in CI) and flags ns/op regressions, closing the
-// benchmark-trajectory loop: every CI run diffs its numbers against the
-// previous run's artifact and annotates regressions without blocking the
-// build.
+// cmd/benchjson writes in CI) and flags ns/op and allocs/op regressions,
+// closing the benchmark-trajectory loop: every CI run diffs its numbers
+// against the previous run's artifact and annotates regressions without
+// blocking the build.
 //
 //	benchdiff old.json new.json                 # human-readable table
 //	benchdiff -threshold 0.1 old.json new.json  # flag >10% slowdowns
@@ -11,8 +11,12 @@
 //
 // Benchmarks are matched by (name, procs). Entries present on only one
 // side are reported as added/removed, never flagged — a renamed benchmark
-// is not a regression. Exit status is 0 unless -fail is given and at least
-// one regression exceeds the threshold.
+// is not a regression. Allocation counts are compared when both sides
+// carry them (b.ReportAllocs() / -benchmem runs): a >threshold increase —
+// or any allocations appearing where the old run measured zero — is
+// flagged like an ns/op regression, so an allocation-free kernel stays
+// allocation-free. Exit status is 0 unless -fail is given and at least one
+// regression exceeds the threshold.
 package main
 
 import (
@@ -30,6 +34,22 @@ type Entry struct {
 	Name    string  `json:"name"`
 	Procs   int     `json:"procs"`
 	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is nil for entries recorded without memory reporting;
+	// older reports carried the figure only in the metrics map, which is
+	// read as a fallback.
+	AllocsPerOp *float64           `json:"allocs_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// allocs returns the entry's allocs/op and whether it was recorded,
+// preferring the first-class field over the legacy metrics map.
+func (e Entry) allocs() (float64, bool) {
+	if e.AllocsPerOp != nil {
+		return *e.AllocsPerOp, true
+	}
+	v, ok := e.Metrics["allocs/op"]
+	return v, ok
 }
 
 // Report is the decoded BENCH_<date>.json document.
@@ -128,8 +148,24 @@ func run(args []string, out io.Writer) (regressions int, err error) {
 						name, delta*100, oldE.NsPerOp, newE.NsPerOp)
 				}
 			}
-			fmt.Fprintf(out, "  %-60s %12.0f -> %9.0f ns/op  %+7.1f%%%s\n",
-				name, oldE.NsPerOp, newE.NsPerOp, delta*100, flag)
+			allocNote := ""
+			if oldA, okOld := oldE.allocs(); okOld {
+				if newA, okNew := newE.allocs(); okNew {
+					worse := (oldA == 0 && newA > 0) ||
+						(oldA > 0 && newA/oldA-1 > *threshold)
+					allocNote = fmt.Sprintf("  allocs %.0f -> %.0f", oldA, newA)
+					if worse {
+						allocNote += "  ALLOC-REGRESSION"
+						regressions++
+						if *annotate {
+							fmt.Fprintf(out, "::warning title=alloc regression::%s allocs/op %.0f -> %.0f\n",
+								name, oldA, newA)
+						}
+					}
+				}
+			}
+			fmt.Fprintf(out, "  %-60s %12.0f -> %9.0f ns/op  %+7.1f%%%s%s\n",
+				name, oldE.NsPerOp, newE.NsPerOp, delta*100, flag, allocNote)
 		}
 	}
 	fmt.Fprintf(out, "%d benchmark(s) compared, %d regression(s) above %+.0f%%\n",

@@ -105,3 +105,68 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("bad flag should error")
 	}
 }
+
+const oldAllocReport = `{
+  "date": "2026-07-27",
+  "entries": [
+    {"name": "BestResponseDP/C6_k4", "procs": 16, "ns_per_op": 300, "allocs_per_op": 0, "bytes_per_op": 0},
+    {"name": "Dynamics", "procs": 16, "ns_per_op": 1000, "metrics": {"allocs/op": 10, "B/op": 512}},
+    {"name": "NoMem", "procs": 16, "ns_per_op": 100}
+  ]
+}`
+
+const newAllocReport = `{
+  "date": "2026-07-28",
+  "entries": [
+    {"name": "BestResponseDP/C6_k4", "procs": 16, "ns_per_op": 305, "allocs_per_op": 3, "bytes_per_op": 96},
+    {"name": "Dynamics", "procs": 16, "ns_per_op": 1010, "allocs_per_op": 11, "bytes_per_op": 512},
+    {"name": "NoMem", "procs": 16, "ns_per_op": 101}
+  ]
+}`
+
+// TestRunFlagsAllocRegressions: losing a 0 allocs/op steady state is always
+// flagged; a within-threshold increase is reported but not flagged; legacy
+// reports carrying allocs only in the metrics map still participate.
+func TestRunFlagsAllocRegressions(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldAllocReport)
+	newPath := writeReport(t, "new.json", newAllocReport)
+	var b strings.Builder
+	regressions, err := run([]string{"-annotate", oldPath, newPath}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if regressions != 1 {
+		t.Fatalf("%d regressions, want 1 (0 -> 3 allocs):\n%s", regressions, got)
+	}
+	if !strings.Contains(got, "ALLOC-REGRESSION") {
+		t.Fatalf("alloc regression not flagged:\n%s", got)
+	}
+	if !strings.Contains(got, "::warning title=alloc regression::BestResponseDP/C6_k4-16 allocs/op 0 -> 3") {
+		t.Fatalf("alloc annotation missing:\n%s", got)
+	}
+	// 10 -> 11 allocs is +10%, inside the default 20% threshold: reported,
+	// not flagged.
+	if !strings.Contains(got, "allocs 10 -> 11") || strings.Contains(got, "allocs 10 -> 11  ALLOC-REGRESSION") {
+		t.Fatalf("legacy-metrics alloc comparison wrong:\n%s", got)
+	}
+	// Entries without memory data on either side must not invent one.
+	if strings.Contains(got, "NoMem-16  allocs") {
+		t.Fatalf("alloc note fabricated for NoMem:\n%s", got)
+	}
+}
+
+// TestRunAllocThreshold: alloc increases obey the same -threshold flag.
+func TestRunAllocThreshold(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldAllocReport)
+	newPath := writeReport(t, "new.json", newAllocReport)
+	var b strings.Builder
+	// At 5%, 10 -> 11 allocs (+10%) is also a regression.
+	regressions, err := run([]string{"-threshold", "0.05", oldPath, newPath}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 2 {
+		t.Fatalf("%d regressions at 5%%, want 2:\n%s", regressions, b.String())
+	}
+}

@@ -42,8 +42,16 @@ type Entry struct {
 	Iters int64 `json:"iters"`
 	// NsPerOp is the headline ns/op figure.
 	NsPerOp float64 `json:"ns_per_op"`
-	// Metrics holds every further "value unit" pair (B/op, allocs/op,
-	// MB/s, custom units).
+	// BytesPerOp and AllocsPerOp are the -benchmem / b.ReportAllocs()
+	// figures, promoted to first-class fields so cmd/benchdiff can track
+	// allocation regressions alongside ns/op. Pointers distinguish a
+	// measured zero (the allocation-free kernel's steady state) from a run
+	// without memory reporting.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every further "value unit" pair (MB/s, custom units),
+	// plus B/op and allocs/op for backward compatibility with consumers of
+	// the original schema.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -112,15 +120,22 @@ func parseLine(line string) (Entry, bool) {
 		if err != nil {
 			return Entry{}, false
 		}
-		if unit := fields[i+1]; unit == "ns/op" {
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
 			entry.NsPerOp = value
 			sawNs = true
-		} else {
-			if entry.Metrics == nil {
-				entry.Metrics = map[string]float64{}
-			}
-			entry.Metrics[unit] = value
+			continue
+		case "B/op":
+			v := value
+			entry.BytesPerOp = &v
+		case "allocs/op":
+			v := value
+			entry.AllocsPerOp = &v
 		}
+		if entry.Metrics == nil {
+			entry.Metrics = map[string]float64{}
+		}
+		entry.Metrics[fields[i+1]] = value
 	}
 	if !sawNs {
 		return Entry{}, false

@@ -54,6 +54,15 @@ func TestRunParsesBenchStream(t *testing.T) {
 	if workers1.Metrics["B/op"] != 1024 || workers1.Metrics["allocs/op"] != 12 {
 		t.Fatalf("memory metrics wrong: %+v", workers1.Metrics)
 	}
+	if workers1.BytesPerOp == nil || *workers1.BytesPerOp != 1024 ||
+		workers1.AllocsPerOp == nil || *workers1.AllocsPerOp != 12 {
+		t.Fatalf("promoted memory fields wrong: %+v", workers1)
+	}
+	// Entries without memory reporting must omit the pointers — a recorded
+	// zero means "measured 0 allocs/op", not "absent".
+	if first.BytesPerOp != nil || first.AllocsPerOp != nil {
+		t.Fatalf("memory fields fabricated for %+v", first)
+	}
 	if report.Entries[2].Name != "EnumerateNEParallel/workers16" {
 		t.Fatalf("third entry wrong: %+v", report.Entries[2])
 	}
@@ -216,5 +225,18 @@ func TestRunEmptyInputStillValidJSON(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Fatal("bad flag should error")
+	}
+}
+
+func TestParseLineRecordsZeroAllocs(t *testing.T) {
+	entry, ok := parseLine("BenchmarkBestResponseDP/C6_k4-16 	 7836070	 304.6 ns/op	       0 B/op	       0 allocs/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if entry.AllocsPerOp == nil || *entry.AllocsPerOp != 0 {
+		t.Fatalf("zero allocs/op must be recorded explicitly: %+v", entry)
+	}
+	if entry.BytesPerOp == nil || *entry.BytesPerOp != 0 {
+		t.Fatalf("zero B/op must be recorded explicitly: %+v", entry)
 	}
 }

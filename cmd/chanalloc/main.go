@@ -63,6 +63,16 @@ func run(args []string, out io.Writer) error {
 	if cfg.mode == "scenario" {
 		return scenarioMode(out, cfg)
 	}
+	// The game bounds every channel load by |N|·k, so expensive rates (the
+	// memoised CSMA fixed points) are frozen into a lock-free table before
+	// the hot paths: identical values, no per-call locking. Huge dimensions
+	// skip the freeze — eagerly sampling millions of rate values would cost
+	// more than it saves (NewGame's own view applies the same cap).
+	if maxK := cfg.users * cfg.radios; maxK <= 1<<21 {
+		if frozen, err := chanalloc.FreezeRate(cfg.rate, maxK); err == nil {
+			cfg.rate = frozen
+		}
+	}
 	g, err := chanalloc.NewGame(cfg.users, cfg.channels, cfg.radios, cfg.rate)
 	if err != nil {
 		return err

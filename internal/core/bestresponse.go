@@ -42,18 +42,34 @@ func (d *Deviation) String() string {
 // Idle radios are permitted (x summing below k); with strictly positive
 // rates the optimum always uses the full budget (paper Lemma 1), which the
 // tests assert.
+//
+// This is the one-shot convenience form; hot loops should hold a Workspace
+// and call BestResponseInto, which allocates nothing in steady state.
 func (g *Game) BestResponse(a *Alloc, i int) ([]int, float64, error) {
 	if err := g.CheckAlloc(a); err != nil {
 		return nil, 0, err
 	}
+	row, val, err := g.BestResponseInto(NewWorkspace(), a, i)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append([]int(nil), row...), val, nil
+}
+
+// BestResponseInto is the allocation-free form of BestResponse: the DP runs
+// entirely inside ws and the returned row aliases ws (copy it to retain it
+// past the next workspace use). The allocation is NOT re-validated — the
+// caller (enumeration, dynamics, a checked wrapper) guarantees a matches
+// the game's dimensions and budgets.
+func (g *Game) BestResponseInto(ws *Workspace, a *Alloc, i int) ([]int, float64, error) {
+	if ws == nil {
+		return nil, 0, fmt.Errorf("core: nil workspace")
+	}
 	if i < 0 || i >= g.users {
 		return nil, 0, fmt.Errorf("core: user %d out of range [0, %d)", i, g.users)
 	}
-	ext := make([]int, g.channels)
-	for c := 0; c < g.channels; c++ {
-		ext[c] = a.Load(c) - a.Radios(i, c)
-	}
-	return BestResponseToLoads(g.rate, ext, g.radios)
+	row, val := g.view.BestResponseAllocInto(ws, a, i, g.radios)
+	return row, val, nil
 }
 
 // BestResponseToLoads computes the utility-maximising placement of up to k
@@ -62,6 +78,21 @@ func (g *Game) BestResponse(a *Alloc, i int) ([]int, float64, error) {
 // know aggregate loads — notably the distributed protocol, where a device
 // learns per-channel totals from its peers rather than a full matrix.
 func BestResponseToLoads(rate ratefn.Func, ext []int, k int) ([]int, float64, error) {
+	row, val, err := BestResponseToLoadsInto(NewWorkspace(), rate, ext, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append([]int(nil), row...), val, nil
+}
+
+// BestResponseToLoadsInto is the allocation-free form of
+// BestResponseToLoads: the DP runs inside ws and the returned row aliases
+// ws. Callers that evaluate many load vectors (simulation loops, the
+// distributed protocol, benchmarks) reuse one workspace across calls.
+func BestResponseToLoadsInto(ws *Workspace, rate ratefn.Func, ext []int, k int) ([]int, float64, error) {
+	if ws == nil {
+		return nil, 0, fmt.Errorf("core: nil workspace")
+	}
 	if rate == nil {
 		return nil, 0, fmt.Errorf("core: nil rate function")
 	}
@@ -77,46 +108,10 @@ func BestResponseToLoads(rate ratefn.Func, ext []int, k int) ([]int, float64, er
 		}
 	}
 	C := len(ext)
-
-	// v[c][x] = the user's rate on channel c when placing x radios there.
-	v := make([][]float64, C)
-	for c := 0; c < C; c++ {
-		v[c] = make([]float64, k+1)
-		for x := 1; x <= k; x++ {
-			v[c][x] = share(x, ext[c]+x, rate)
-		}
-	}
-
-	// f[c][b] = best value over channels c..C-1 with budget b.
-	// choice[c][b] = radios assigned to channel c at that state.
-	f := make([][]float64, C+1)
-	choice := make([][]int, C)
-	for c := range f {
-		f[c] = make([]float64, k+1)
-	}
-	for c := range choice {
-		choice[c] = make([]int, k+1)
-	}
-	for c := C - 1; c >= 0; c-- {
-		for b := 0; b <= k; b++ {
-			best, bestX := math.Inf(-1), 0
-			for x := 0; x <= b; x++ {
-				if val := v[c][x] + f[c+1][b-x]; val > best {
-					best, bestX = val, x
-				}
-			}
-			f[c][b] = best
-			choice[c][b] = bestX
-		}
-	}
-
-	row := make([]int, C)
-	b := k
-	for c := 0; c < C; c++ {
-		row[c] = choice[c][b]
-		b -= row[c]
-	}
-	return row, f[0][k], nil
+	ws.ensure(C, k)
+	fillSharesFunc(ws, rate, ext, k)
+	row, val := bestResponseDP(ws, C, k)
+	return row, val, nil
 }
 
 // FindDeviation searches all users for a profitable unilateral deviation
@@ -127,9 +122,21 @@ func (g *Game) FindDeviation(a *Alloc, eps float64) (*Deviation, error) {
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, fmt.Errorf("core: negative tolerance %v", eps)
 	}
+	if err := g.CheckAlloc(a); err != nil {
+		return nil, err
+	}
+	return g.FindDeviationWith(NewWorkspace(), a, eps)
+}
+
+// FindDeviationWith is FindDeviation running in the caller's workspace: it
+// sweeps users in index order with the allocation-free DP and returns the
+// first profitable deviation (identical to FindDeviation's answer), or nil.
+// Zero allocations unless a deviation is found. The allocation is not
+// re-validated.
+func (g *Game) FindDeviationWith(ws *Workspace, a *Alloc, eps float64) (*Deviation, error) {
 	for i := 0; i < g.users; i++ {
 		current := g.Utility(a, i)
-		row, best, err := g.BestResponse(a, i)
+		row, best, err := g.BestResponseInto(ws, a, i)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +144,7 @@ func (g *Game) FindDeviation(a *Alloc, eps float64) (*Deviation, error) {
 			return &Deviation{
 				User:    i,
 				Current: a.Row(i),
-				Better:  row,
+				Better:  append([]int(nil), row...),
 				Gain:    best - current,
 			}, nil
 		}
@@ -150,11 +157,24 @@ func (g *Game) FindDeviation(a *Alloc, eps float64) (*Deviation, error) {
 // ground-truth oracle; TheoremNE is the paper's closed-form
 // characterisation.
 func (g *Game) IsNashEquilibrium(a *Alloc) (bool, error) {
-	dev, err := g.FindDeviation(a, DefaultEps)
-	if err != nil {
+	if err := g.CheckAlloc(a); err != nil {
 		return false, err
 	}
-	return dev == nil, nil
+	return g.IsNashEquilibriumWith(NewWorkspace(), a)
+}
+
+// IsNashEquilibriumWith decides NE membership in the caller's workspace
+// with the screen-then-prove oracle (RateView.ScreenedNE), returning
+// exactly the same verdict as IsNashEquilibrium with zero steady-state
+// allocations: most non-equilibria exit on O(|C|) table reads with no DP
+// at all, and only surviving profiles pay the full per-user DP proof.
+//
+// The allocation is not re-validated; callers guarantee it is legal.
+func (g *Game) IsNashEquilibriumWith(ws *Workspace, a *Alloc) (bool, error) {
+	if ws == nil {
+		return false, fmt.Errorf("core: nil workspace")
+	}
+	return g.view.ScreenedNE(ws, a, g.radios, nil, DefaultEps), nil
 }
 
 // UtilityRat computes U_i(S) exactly, if the game's rate function supports

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/multiradio/chanalloc/internal/combin"
+	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+// This file pins the workspace/table/screen kernel against reference
+// implementations of the pre-refactor serial code paths. The refactor's
+// contract is byte-identical results: every tabulated value is produced by
+// the same floating-point expression the interface path evaluates, the DP
+// visits states in the same order, and the Eq. 7 screen is reject-only with
+// DP confirmation — so utilities, best responses, NE verdicts and
+// enumeration output (order included) must be exactly equal, not merely
+// close.
+
+// referenceBestResponseToLoads is the pre-workspace DP: fresh heap slices
+// per call, rate interface calls in the inner loop. Kept verbatim from the
+// pre-refactor BestResponseToLoads (minus input validation).
+func referenceBestResponseToLoads(rate ratefn.Func, ext []int, k int) ([]int, float64) {
+	C := len(ext)
+	v := make([][]float64, C)
+	for c := 0; c < C; c++ {
+		v[c] = make([]float64, k+1)
+		for x := 1; x <= k; x++ {
+			v[c][x] = share(x, ext[c]+x, rate)
+		}
+	}
+	f := make([][]float64, C+1)
+	choice := make([][]int, C)
+	for c := range f {
+		f[c] = make([]float64, k+1)
+	}
+	for c := range choice {
+		choice[c] = make([]int, k+1)
+	}
+	for c := C - 1; c >= 0; c-- {
+		for b := 0; b <= k; b++ {
+			best, bestX := math.Inf(-1), 0
+			for x := 0; x <= b; x++ {
+				if val := v[c][x] + f[c+1][b-x]; val > best {
+					best, bestX = val, x
+				}
+			}
+			f[c][b] = best
+			choice[c][b] = bestX
+		}
+	}
+	row := make([]int, C)
+	b := k
+	for c := 0; c < C; c++ {
+		row[c] = choice[c][b]
+		b -= row[c]
+	}
+	return row, f[0][k]
+}
+
+// referenceUtility is Eq. 3 through the rate interface (no table).
+func referenceUtility(g *Game, a *Alloc, i int) float64 {
+	var u float64
+	for c := 0; c < a.Channels(); c++ {
+		ki := a.Radios(i, c)
+		if ki == 0 {
+			continue
+		}
+		kc := a.Load(c)
+		u += float64(ki) / float64(kc) * g.Rate().Rate(kc)
+	}
+	return u
+}
+
+// referenceIsNE is the pre-refactor oracle: per-user reference DP against
+// reference utility at DefaultEps, no screen.
+func referenceIsNE(g *Game, a *Alloc) bool {
+	for i := 0; i < g.Users(); i++ {
+		ext := make([]int, g.Channels())
+		for c := range ext {
+			ext[c] = a.Load(c) - a.Radios(i, c)
+		}
+		_, best := referenceBestResponseToLoads(g.Rate(), ext, g.Radios())
+		if best > referenceUtility(g, a, i)+DefaultEps {
+			return false
+		}
+	}
+	return true
+}
+
+// referenceEnumerateNE is the pre-refactor serial enumeration: full SetRow
+// odometer (every user re-set on every profile) plus referenceIsNE.
+func referenceEnumerateNE(t *testing.T, g *Game, maxProfiles int64) []*Alloc {
+	t.Helper()
+	rows, err := strategyRows(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkProfileCap(g.Users(), int64(len(rows)), maxProfiles); err != nil {
+		t.Fatal(err)
+	}
+	a := g.NewEmptyAlloc()
+	sizes := make([]int, g.Users())
+	for i := range sizes {
+		sizes[i] = len(rows)
+	}
+	var out []*Alloc
+	err = combin.Product(sizes, func(idx []int) bool {
+		for i, ri := range idx {
+			if err := a.SetRow(i, rows[ri]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if referenceIsNE(g, a) {
+			out = append(out, a.Clone())
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// differentialRates covers every ratefn family, including the Table and
+// MonotoneEnvelope forms named by the refactor issue. The envelope wraps a
+// non-monotone inner curve so its lazy memoisation actually engages.
+func differentialRates(t *testing.T) []ratefn.Func {
+	t.Helper()
+	table, err := ratefn.NewTable("meas", []float64{5, 5, 3.5, 2.25, 2.25, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := ratefn.Freeze(ratefn.Harmonic{R0: 7, Alpha: 0.45}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ratefn.Func{
+		ratefn.NewTDMA(1),
+		ratefn.Harmonic{R0: 2, Alpha: 0.6},
+		ratefn.Geometric{R0: 3, Beta: 0.7},
+		ratefn.Linear{R0: 2, Slope: 0.4},
+		table,
+		frozen,
+		ratefn.NewMonotoneEnvelope(bumpy{}),
+		ratefn.NewMemo(ratefn.Harmonic{R0: 4, Alpha: 0.25}),
+	}
+}
+
+// bumpy is deterministic but non-monotone, exercising the envelope.
+type bumpy struct{}
+
+func (bumpy) Rate(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return 3/float64(k) + 0.25*float64(k%3)
+}
+func (bumpy) Name() string { return "bumpy" }
+
+// TestDifferentialEnumerateNEMatchesReference: the screened workspace
+// enumeration must reproduce the pre-refactor serial output exactly —
+// same equilibria, same order — across all rate families.
+func TestDifferentialEnumerateNEMatchesReference(t *testing.T) {
+	rates := differentialRates(t)
+	for seed := uint64(0); seed < 24; seed++ {
+		rate := rates[int(seed)%len(rates)]
+		rng := des.NewRNG(seed)
+		users := 1 + rng.Intn(3)
+		channels := 1 + rng.Intn(3)
+		radios := 1 + rng.Intn(channels)
+		g, err := NewGame(users, channels, radios, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceEnumerateNE(t, g, 2_000_000)
+		got, err := EnumerateNE(g, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d (%s, %dx%dx%d): %d equilibria, reference found %d",
+				seed, rate.Name(), users, channels, radios, len(got), len(want))
+		}
+		for j := range got {
+			if !got[j].Equal(want[j]) {
+				t.Fatalf("seed %d (%s): equilibrium %d differs from reference order\ngot:\n%v\nwant:\n%v",
+					seed, rate.Name(), j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestDifferentialOracleAgreesWithExactRat pins the screened float oracle
+// against exact rational arithmetic on random allocations for every
+// exact-capable family.
+func TestDifferentialOracleAgreesWithExactRat(t *testing.T) {
+	rates := []ratefn.Func{
+		ratefn.NewTDMA(2),
+		ratefn.Harmonic{R0: 2, Alpha: 0.5},
+		ratefn.Geometric{R0: 1, Beta: 0.5},
+		ratefn.Linear{R0: 2, Slope: 0.25},
+	}
+	f := func(seed uint64) bool {
+		rate := rates[int(seed%uint64(len(rates)))]
+		g, a, err := randomInstance(seed, rate)
+		if err != nil {
+			return false
+		}
+		exact, ok, err := g.IsNashEquilibriumRat(a)
+		if err != nil || !ok {
+			return false
+		}
+		ws := NewWorkspace()
+		got, err := g.IsNashEquilibriumWith(ws, a)
+		if err != nil {
+			return false
+		}
+		if got != exact {
+			t.Logf("seed %d (%s): screened oracle %v, exact %v\n%v", seed, rate.Name(), got, exact, a)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialBestResponseMatchesReference: the workspace DP must
+// return bit-identical rows and values to the pre-refactor heap DP on
+// random instances across families, with the workspace reused between
+// calls (stale state must not leak).
+func TestDifferentialBestResponseMatchesReference(t *testing.T) {
+	rates := differentialRates(t)
+	ws := NewWorkspace()
+	for seed := uint64(0); seed < 200; seed++ {
+		rate := rates[int(seed)%len(rates)]
+		g, a, err := randomInstance(seed, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.Users(); i++ {
+			ext := make([]int, g.Channels())
+			for c := range ext {
+				ext[c] = a.Load(c) - a.Radios(i, c)
+			}
+			wantRow, wantVal := referenceBestResponseToLoads(g.Rate(), ext, g.Radios())
+			gotRow, gotVal, err := g.BestResponseInto(ws, a, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotVal != wantVal {
+				t.Fatalf("seed %d (%s) user %d: DP value %v, reference %v (must be bit-identical)",
+					seed, rate.Name(), i, gotVal, wantVal)
+			}
+			for c := range wantRow {
+				if gotRow[c] != wantRow[c] {
+					t.Fatalf("seed %d (%s) user %d: row %v, reference %v", seed, rate.Name(), i, gotRow, wantRow)
+				}
+			}
+			if gotU, wantU := g.Utility(a, i), referenceUtility(g, a, i); gotU != wantU {
+				t.Fatalf("seed %d (%s) user %d: utility %v, reference %v", seed, rate.Name(), i, gotU, wantU)
+			}
+		}
+	}
+}
+
+// TestDifferentialFindDeviationMatchesReference: the workspace sweep must
+// report the same first deviating user, row and gain as the pre-refactor
+// FindDeviation.
+func TestDifferentialFindDeviationMatchesReference(t *testing.T) {
+	rates := differentialRates(t)
+	ws := NewWorkspace()
+	for seed := uint64(0); seed < 150; seed++ {
+		rate := rates[int(seed)%len(rates)]
+		g, a, err := randomInstance(seed, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want *Deviation
+		for i := 0; i < g.Users(); i++ {
+			ext := make([]int, g.Channels())
+			for c := range ext {
+				ext[c] = a.Load(c) - a.Radios(i, c)
+			}
+			row, best := referenceBestResponseToLoads(g.Rate(), ext, g.Radios())
+			if current := referenceUtility(g, a, i); best > current+DefaultEps {
+				want = &Deviation{User: i, Better: row, Gain: best - current}
+				break
+			}
+		}
+		got, err := g.FindDeviationWith(ws, a, DefaultEps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case got == nil && want == nil:
+		case got == nil || want == nil:
+			t.Fatalf("seed %d (%s): deviation %v, reference %v", seed, rate.Name(), got, want)
+		default:
+			if got.User != want.User || got.Gain != want.Gain {
+				t.Fatalf("seed %d (%s): deviation %v, reference %v", seed, rate.Name(), got, want)
+			}
+			for c := range want.Better {
+				if got.Better[c] != want.Better[c] {
+					t.Fatalf("seed %d (%s): better row %v, reference %v", seed, rate.Name(), got.Better, want.Better)
+				}
+			}
+		}
+	}
+}

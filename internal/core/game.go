@@ -7,12 +7,17 @@ import (
 )
 
 // Game fixes the parameters of one channel allocation game: |N| users, |C|
-// channels, k radios per user and the common rate function R.
+// channels, k radios per user and the common rate function R. Construction
+// precomputes a RateView — R(0..|N|·k) plus the best-response share plane —
+// so the hot paths (utilities, welfare, potential, the best-response DP)
+// read tables instead of calling through the rate interface. The rate
+// function must therefore be pure; it is sampled once in NewGame.
 type Game struct {
 	users    int
 	channels int
 	radios   int
 	rate     ratefn.Func
+	view     *RateView
 }
 
 // NewGame validates and constructs a game. The paper's standing assumption
@@ -30,7 +35,13 @@ func NewGame(users, channels, radios int, rate ratefn.Func) (*Game, error) {
 	case rate == nil:
 		return nil, fmt.Errorf("core: nil rate function")
 	}
-	return &Game{users: users, channels: channels, radios: radios, rate: rate}, nil
+	return &Game{
+		users:    users,
+		channels: channels,
+		radios:   radios,
+		rate:     rate,
+		view:     NewRateView(rate, users*radios, radios),
+	}, nil
 }
 
 // Users returns |N|.
@@ -44,6 +55,11 @@ func (g *Game) Radios() int { return g.radios }
 
 // Rate returns the game's rate function.
 func (g *Game) Rate() ratefn.Func { return g.rate }
+
+// View returns the game's precomputed rate view (R table + share plane over
+// the bounded load domain). It is read-only and safe to share across
+// goroutines.
+func (g *Game) View() *RateView { return g.view }
 
 // HasConflict reports whether |N|·k > |C|, the regime of the paper's §3
 // analysis (otherwise Fact 1 applies: radios simply spread out).
@@ -77,18 +93,10 @@ func (g *Game) CheckAlloc(a *Alloc) error {
 	return nil
 }
 
-// Utility computes U_i(S) per Eq. 3: Σ_c k_{i,c}/k_c · R(k_c).
+// Utility computes U_i(S) per Eq. 3: Σ_c k_{i,c}/k_c · R(k_c). Rates come
+// from the precomputed table (identical values to calling R directly).
 func (g *Game) Utility(a *Alloc, i int) float64 {
-	var u float64
-	for c := 0; c < a.Channels(); c++ {
-		ki := a.Radios(i, c)
-		if ki == 0 {
-			continue
-		}
-		kc := a.Load(c)
-		u += float64(ki) / float64(kc) * g.rate.Rate(kc)
-	}
-	return u
+	return g.view.UtilityOf(a, i)
 }
 
 // Utilities computes every user's utility.
@@ -106,10 +114,24 @@ func (g *Game) Welfare(a *Alloc) float64 {
 	var w float64
 	for c := 0; c < a.Channels(); c++ {
 		if kc := a.Load(c); kc > 0 {
-			w += g.rate.Rate(kc)
+			w += g.view.RateAt(kc)
 		}
 	}
 	return w
+}
+
+// Potential evaluates the exact congestion potential
+// Φ(S) = Σ_c Σ_{j=1}^{k_c} R(j)/j via the precomputed rate table, in the
+// same term order (and hence bit-identical) as dynamics.Potential with the
+// game's own rate function.
+func (g *Game) Potential(a *Alloc) float64 {
+	var phi float64
+	for c := 0; c < a.Channels(); c++ {
+		for j := 1; j <= a.Load(c); j++ {
+			phi += g.view.RateAt(j) / float64(j)
+		}
+	}
+	return phi
 }
 
 // BenefitOfMove computes Δ of Eq. 7: the utility change for user i from
@@ -132,8 +154,8 @@ func (g *Game) BenefitOfMove(a *Alloc, i, b, c int) (float64, error) {
 	kic := a.Radios(i, c)
 	kb, kc := a.Load(b), a.Load(c)
 
-	delta := -share(kib, kb, g.rate) - share(kic, kc, g.rate)
-	delta += share(kib-1, kb-1, g.rate) + share(kic+1, kc+1, g.rate)
+	delta := -g.view.ShareAt(kib, kb) - g.view.ShareAt(kic, kc)
+	delta += g.view.ShareAt(kib-1, kb-1) + g.view.ShareAt(kic+1, kc+1)
 	return delta, nil
 }
 

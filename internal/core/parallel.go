@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 
-	"github.com/multiradio/chanalloc/internal/combin"
 	"github.com/multiradio/chanalloc/internal/des"
 	"github.com/multiradio/chanalloc/internal/engine"
 )
@@ -63,10 +62,11 @@ func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, err
 		for i := range rest {
 			rest[i] = len(rows)
 		}
+		ws := NewWorkspace()
 		var out []*Alloc
 		var innerErr error
 		err := forEachRest(a, rows, pinned, rest, func(b *Alloc) bool {
-			ok, err := g.IsNashEquilibrium(b)
+			ok, err := g.IsNashEquilibriumWith(ws, b)
 			if err != nil {
 				innerErr = err
 				return false
@@ -97,24 +97,9 @@ func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, err
 
 // forEachRest walks the cartesian product of strategy rows for users
 // pinned..N-1 on top of a (users 0..pinned-1 already set), calling fn with
-// the reused allocation. Matches the serial ForEachAlloc iteration order
-// for fixed leading digits. A SetRow failure — rows are pre-validated by
-// the callers, but an invariant-breaking allocation must not pass silently
-// — stops the walk and surfaces as an error rather than a truncated
-// enumeration.
+// the reused allocation, which fn must treat as read-only. Matches the
+// serial ForEachAlloc iteration order for fixed leading digits, including
+// its odometer-awareness (see ProductWalk).
 func forEachRest(a *Alloc, rows [][]int, pinned int, sizes []int, fn func(*Alloc) bool) error {
-	var setErr error
-	err := combin.Product(sizes, func(idx []int) bool {
-		for u, ri := range idx {
-			if err := a.SetRow(u+pinned, rows[ri]); err != nil {
-				setErr = fmt.Errorf("core: setting row for user %d: %w", u+pinned, err)
-				return false
-			}
-		}
-		return fn(a)
-	})
-	if err != nil {
-		return err
-	}
-	return setErr
+	return ProductWalk(a, pinned, sizes, func(_, ri int) []int { return rows[ri] }, "core", fn)
 }

@@ -12,9 +12,10 @@ import (
 // Σ_{c : l_c > 0} R(l_c) over load vectors that place all |N|·k radios
 // (Lemma 1 forces full deployment in equilibrium, so this is the natural
 // welfare benchmark for NE comparisons). It returns the optimum and one
-// optimising load vector.
+// optimising load vector. The DP reads the game's frozen rate view, so the
+// O(|C|·T²) inner loop costs table lookups rather than interface calls.
 func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
-	return OptimalLoadWelfare(g.Rate(), g.Channels(), g.Users()*g.Radios())
+	return OptimalLoadWelfare(g.view.Frozen(), g.Channels(), g.Users()*g.Radios())
 }
 
 // OptimalLoadWelfare maximises Σ_{c : l_c > 0} R(l_c) over load vectors on
@@ -126,11 +127,20 @@ func strategyRows(g *Game) ([][]int, error) {
 	return rows, nil
 }
 
-// checkProfileCap verifies perUser^users stays within maxProfiles.
+// checkProfileCap verifies perUser^users stays within maxProfiles. The
+// guard divides instead of multiplying so the running product can never
+// overflow int64: totalProfiles > maxProfiles/perUser (integer division)
+// implies totalProfiles·perUser > maxProfiles, and otherwise the product is
+// at most maxProfiles. The former `maxProfiles/perUser+1` form admitted a
+// boundary multiply that wrapped negative for huge perUser and then passed
+// the final comparison.
 func checkProfileCap(users int, perUser, maxProfiles int64) error {
+	if perUser <= 0 {
+		return fmt.Errorf("core: non-positive strategy count %d per user", perUser)
+	}
 	totalProfiles := int64(1)
 	for i := 0; i < users; i++ {
-		if totalProfiles > maxProfiles/perUser+1 {
+		if totalProfiles > maxProfiles/perUser {
 			return fmt.Errorf("core: strategy space too large (> %d profiles)", maxProfiles)
 		}
 		totalProfiles *= perUser
@@ -142,10 +152,15 @@ func checkProfileCap(users int, perUser, maxProfiles int64) error {
 }
 
 // ForEachAlloc enumerates every legal strategy matrix of the game (all
-// users, all budgets up to k) and calls fn with a reused Alloc. Returning
-// false stops the enumeration. This is exponential — it exists for the
-// exhaustive oracles on tiny instances (experiment E2) and refuses to run
-// when the strategy space exceeds maxProfiles.
+// users, all budgets up to k) and calls fn with a reused Alloc that fn must
+// treat as read-only. Returning false stops the enumeration. This is
+// exponential — it exists for the exhaustive oracles on tiny instances
+// (experiment E2) and refuses to run when the strategy space exceeds
+// maxProfiles.
+//
+// The walk is odometer-aware: between consecutive profiles only the user
+// rows whose odometer digit changed are re-set (usually just the last
+// user), instead of rewriting all |N| rows per profile.
 func ForEachAlloc(g *Game, maxProfiles int64, fn func(*Alloc) bool) error {
 	rows, err := strategyRows(g)
 	if err != nil {
@@ -160,25 +175,54 @@ func ForEachAlloc(g *Game, maxProfiles int64, fn func(*Alloc) bool) error {
 	for i := range sizes {
 		sizes[i] = len(rows)
 	}
-	return combin.Product(sizes, func(idx []int) bool {
-		for i, ri := range idx {
-			if err := a.SetRow(i, rows[ri]); err != nil {
-				// rows are pre-validated; this cannot fail.
+	return ProductWalk(a, 0, sizes, func(_, ri int) []int { return rows[ri] }, "core", fn)
+}
+
+// ProductWalk enumerates the cartesian product of per-user strategy
+// indices, setting rows of a for users offset..offset+len(sizes)-1 and
+// calling fn with the reused allocation, which fn must treat as read-only.
+// The walk is odometer-aware: between consecutive profiles only rows whose
+// index changed are re-set (usually just the last user's). rowFor maps
+// (user, index) to that user's strategy row; errPrefix labels SetRow
+// failures — rows are pre-validated by callers, but an invariant-breaking
+// allocation must stop the walk loudly rather than truncate it. Shared by
+// ForEachAlloc, the parallel shards and the hetero enumerator.
+func ProductWalk(a *Alloc, offset int, sizes []int, rowFor func(user, idx int) []int, errPrefix string, fn func(*Alloc) bool) error {
+	prev := make([]int, len(sizes))
+	for i := range prev {
+		prev[i] = -1
+	}
+	var setErr error
+	err := combin.Product(sizes, func(idx []int) bool {
+		for u, ri := range idx {
+			if ri == prev[u] {
+				continue
+			}
+			if err := a.SetRow(u+offset, rowFor(u+offset, ri)); err != nil {
+				setErr = fmt.Errorf("%s: setting row for user %d: %w", errPrefix, u+offset, err)
 				return false
 			}
+			prev[u] = ri
 		}
 		return fn(a)
 	})
+	if err != nil {
+		return err
+	}
+	return setErr
 }
 
 // EnumerateNE collects every Nash equilibrium of a tiny game by exhaustive
-// best-response checking. Intended for cross-validation tests; guarded by
-// maxProfiles like ForEachAlloc.
+// best-response checking (the screened, workspace-backed oracle; results
+// and order are identical to checking IsNashEquilibrium per profile).
+// Intended for cross-validation tests; guarded by maxProfiles like
+// ForEachAlloc.
 func EnumerateNE(g *Game, maxProfiles int64) ([]*Alloc, error) {
+	ws := NewWorkspace()
 	var out []*Alloc
 	var innerErr error
 	err := ForEachAlloc(g, maxProfiles, func(a *Alloc) bool {
-		ok, err := g.IsNashEquilibrium(a)
+		ok, err := g.IsNashEquilibriumWith(ws, a)
 		if err != nil {
 			innerErr = err
 			return false

@@ -275,3 +275,39 @@ func TestAllNEOfSmallGamesAreParetoOptimal(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckProfileCapOverflowEdges(t *testing.T) {
+	const maxI64 = math.MaxInt64
+	cases := []struct {
+		name        string
+		users       int
+		perUser     int64
+		maxProfiles int64
+		wantErr     bool
+	}{
+		// The boundary multiply the old `maxProfiles/perUser+1` guard
+		// admitted: perUser ~ sqrt(MaxInt64), so perUser² wraps negative and
+		// the final comparison wrongly accepted an astronomical space.
+		{"sqrt-boundary-wrap", 2, 3037000500, maxI64, true},
+		{"huge-per-user", 2, maxI64/2 + 1, maxI64, true},
+		{"single-user-at-cap", 1, maxI64, maxI64, false},
+		{"pow-just-over", 3, 1 << 21, maxI64, true},
+		{"exact-fit", 4, 15, 50625, false},
+		{"one-under", 4, 15, 50624, true},
+		{"per-user-over-cap", 1, 11, 10, true},
+		{"zero-users", 0, 5, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkProfileCap(tc.users, tc.perUser, tc.maxProfiles)
+			if tc.wantErr && err == nil {
+				t.Fatalf("checkProfileCap(%d, %d, %d) accepted, want error",
+					tc.users, tc.perUser, tc.maxProfiles)
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("checkProfileCap(%d, %d, %d) = %v, want nil",
+					tc.users, tc.perUser, tc.maxProfiles, err)
+			}
+		})
+	}
+}

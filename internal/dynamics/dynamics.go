@@ -142,7 +142,11 @@ func RunBestResponse(g *core.Game, start *core.Alloc, opts ...Option) (Result, e
 	}
 	a := start.Clone()
 	rng := des.NewRNG(cfg.seed)
-	res := Result{Final: a, PotentialTrace: []float64{Potential(g.Rate(), a)}}
+	// One workspace per run: the whole convergence process is allocation-free
+	// apart from the trace. g.Potential reads the per-game rate table and is
+	// bit-identical to Potential(g.Rate(), a).
+	ws := core.NewWorkspace()
+	res := Result{Final: a, PotentialTrace: []float64{g.Potential(a)}}
 
 	order := make([]int, g.Users())
 	for i := range order {
@@ -155,7 +159,7 @@ func RunBestResponse(g *core.Game, start *core.Alloc, opts ...Option) (Result, e
 		improved := false
 		for _, i := range order {
 			current := g.Utility(a, i)
-			row, best, err := g.BestResponse(a, i)
+			row, best, err := g.BestResponseInto(ws, a, i)
 			if err != nil {
 				return Result{}, fmt.Errorf("dynamics: best response for user %d: %w", i, err)
 			}
@@ -168,7 +172,7 @@ func RunBestResponse(g *core.Game, start *core.Alloc, opts ...Option) (Result, e
 			}
 		}
 		res.Rounds++
-		res.PotentialTrace = append(res.PotentialTrace, Potential(g.Rate(), a))
+		res.PotentialTrace = append(res.PotentialTrace, g.Potential(a))
 		if !improved {
 			res.Converged = true
 			break
@@ -192,7 +196,7 @@ func RunRadioGreedy(g *core.Game, start *core.Alloc, opts ...Option) (Result, er
 	}
 	a := start.Clone()
 	rng := des.NewRNG(cfg.seed)
-	res := Result{Final: a, PotentialTrace: []float64{Potential(g.Rate(), a)}}
+	res := Result{Final: a, PotentialTrace: []float64{g.Potential(a)}}
 
 	order := make([]int, g.Users())
 	for i := range order {
@@ -231,7 +235,7 @@ func RunRadioGreedy(g *core.Game, start *core.Alloc, opts ...Option) (Result, er
 			}
 		}
 		res.Rounds++
-		res.PotentialTrace = append(res.PotentialTrace, Potential(g.Rate(), a))
+		res.PotentialTrace = append(res.PotentialTrace, g.Potential(a))
 		if !improved {
 			res.Converged = true
 			break

@@ -31,8 +31,9 @@ func RunSimultaneous(g *core.Game, start *core.Alloc, inertia float64, opts ...O
 	}
 	a := start.Clone()
 	rng := des.NewRNG(cfg.seed)
-	res := Result{Final: a, PotentialTrace: []float64{Potential(g.Rate(), a)}}
+	res := Result{Final: a, PotentialTrace: []float64{g.Potential(a)}}
 
+	ws := core.NewWorkspace()
 	rows := make([][]int, g.Users())
 	for round := 0; round < cfg.maxRounds; round++ {
 		// Phase 1: everyone plans against the same snapshot.
@@ -40,14 +41,16 @@ func RunSimultaneous(g *core.Game, start *core.Alloc, inertia float64, opts ...O
 		for i := 0; i < g.Users(); i++ {
 			rows[i] = nil
 			current := g.Utility(a, i)
-			row, best, err := g.BestResponse(a, i)
+			row, best, err := g.BestResponseInto(ws, a, i)
 			if err != nil {
 				return Result{}, fmt.Errorf("dynamics: best response for user %d: %w", i, err)
 			}
 			if best > current+cfg.eps {
 				anyImprovement = true
 				if inertia == 1 || rng.Float64() < inertia {
-					rows[i] = row
+					// The DP row aliases the workspace; copy before the next
+					// user's plan overwrites it.
+					rows[i] = append([]int(nil), row...)
 				}
 			}
 		}
@@ -62,7 +65,7 @@ func RunSimultaneous(g *core.Game, start *core.Alloc, inertia float64, opts ...O
 			res.Moves++
 		}
 		res.Rounds++
-		res.PotentialTrace = append(res.PotentialTrace, Potential(g.Rate(), a))
+		res.PotentialTrace = append(res.PotentialTrace, g.Potential(a))
 		if !anyImprovement {
 			res.Converged = true
 			break

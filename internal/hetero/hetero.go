@@ -21,11 +21,16 @@ import (
 	"github.com/multiradio/chanalloc/internal/ratefn"
 )
 
-// Game is a channel allocation game with per-user radio budgets.
+// Game is a channel allocation game with per-user radio budgets. Like
+// core.Game, construction precomputes a core.RateView over the bounded
+// load domain (total load <= Σ_i k_i), so utilities, welfare and the
+// best-response DP read tables instead of calling through the rate
+// interface; the rate function must be pure.
 type Game struct {
 	channels int
 	budgets  []int
 	rate     ratefn.Func
+	view     *core.RateView
 }
 
 // NewGame validates budgets (1 <= k_i <= channels) and builds a game.
@@ -47,10 +52,18 @@ func NewGame(channels int, budgets []int, rate ratefn.Func) (*Game, error) {
 	if rate == nil {
 		return nil, fmt.Errorf("hetero: nil rate function")
 	}
+	total, maxBudget := 0, 0
+	for _, k := range budgets {
+		total += k
+		if k > maxBudget {
+			maxBudget = k
+		}
+	}
 	return &Game{
 		channels: channels,
 		budgets:  append([]int(nil), budgets...),
 		rate:     rate,
+		view:     core.NewRateView(rate, total, maxBudget),
 	}, nil
 }
 
@@ -68,6 +81,9 @@ func (g *Game) Budgets() []int { return append([]int(nil), g.budgets...) }
 
 // Rate returns the rate function.
 func (g *Game) Rate() ratefn.Func { return g.rate }
+
+// View returns the game's precomputed rate view (shared read-only).
+func (g *Game) View() *core.RateView { return g.view }
 
 // NewEmptyAlloc returns an all-zero allocation with this game's dimensions.
 func (g *Game) NewEmptyAlloc() *core.Alloc {
@@ -95,18 +111,9 @@ func (g *Game) CheckAlloc(a *core.Alloc) error {
 	return nil
 }
 
-// Utility computes U_i per the paper's Eq. 3.
+// Utility computes U_i per the paper's Eq. 3 (table-backed rates).
 func (g *Game) Utility(a *core.Alloc, i int) float64 {
-	var u float64
-	for c := 0; c < a.Channels(); c++ {
-		ki := a.Radios(i, c)
-		if ki == 0 {
-			continue
-		}
-		kc := a.Load(c)
-		u += float64(ki) / float64(kc) * g.rate.Rate(kc)
-	}
-	return u
+	return g.view.UtilityOf(a, i)
 }
 
 // Utilities computes every user's utility.
@@ -123,25 +130,37 @@ func (g *Game) Welfare(a *core.Alloc) float64 {
 	var w float64
 	for c := 0; c < a.Channels(); c++ {
 		if kc := a.Load(c); kc > 0 {
-			w += g.rate.Rate(kc)
+			w += g.view.RateAt(kc)
 		}
 	}
 	return w
 }
 
 // BestResponse computes user i's optimal reallocation within its budget.
+// One-shot form of BestResponseInto.
 func (g *Game) BestResponse(a *core.Alloc, i int) ([]int, float64, error) {
 	if err := g.CheckAlloc(a); err != nil {
 		return nil, 0, err
 	}
+	row, val, err := g.BestResponseInto(core.NewWorkspace(), a, i)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append([]int(nil), row...), val, nil
+}
+
+// BestResponseInto is the allocation-free best response: the DP runs in the
+// caller's workspace and the returned row aliases it. The allocation is not
+// re-validated.
+func (g *Game) BestResponseInto(ws *core.Workspace, a *core.Alloc, i int) ([]int, float64, error) {
+	if ws == nil {
+		return nil, 0, fmt.Errorf("hetero: nil workspace")
+	}
 	if i < 0 || i >= g.Users() {
 		return nil, 0, fmt.Errorf("hetero: user %d out of range [0, %d)", i, g.Users())
 	}
-	ext := make([]int, g.channels)
-	for c := 0; c < g.channels; c++ {
-		ext[c] = a.Load(c) - a.Radios(i, c)
-	}
-	return core.BestResponseToLoads(g.rate, ext, g.budgets[i])
+	row, val := g.view.BestResponseAllocInto(ws, a, i, g.budgets[i])
+	return row, val, nil
 }
 
 // FindDeviation returns a profitable unilateral deviation, or nil when a is
@@ -150,9 +169,19 @@ func (g *Game) FindDeviation(a *core.Alloc, eps float64) (*core.Deviation, error
 	if eps < 0 {
 		return nil, fmt.Errorf("hetero: negative tolerance %v", eps)
 	}
+	if err := g.CheckAlloc(a); err != nil {
+		return nil, err
+	}
+	return g.FindDeviationWith(core.NewWorkspace(), a, eps)
+}
+
+// FindDeviationWith is FindDeviation in the caller's workspace: zero
+// allocations unless a deviation is found; the allocation is not
+// re-validated.
+func (g *Game) FindDeviationWith(ws *core.Workspace, a *core.Alloc, eps float64) (*core.Deviation, error) {
 	for i := 0; i < g.Users(); i++ {
 		current := g.Utility(a, i)
-		row, best, err := g.BestResponse(a, i)
+		row, best, err := g.BestResponseInto(ws, a, i)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +189,7 @@ func (g *Game) FindDeviation(a *core.Alloc, eps float64) (*core.Deviation, error
 			return &core.Deviation{
 				User:    i,
 				Current: a.Row(i),
-				Better:  row,
+				Better:  append([]int(nil), row...),
 				Gain:    best - current,
 			}, nil
 		}
@@ -171,11 +200,21 @@ func (g *Game) FindDeviation(a *core.Alloc, eps float64) (*core.Deviation, error
 // IsNashEquilibrium decides NE membership with the exact best-response
 // oracle at tolerance core.DefaultEps.
 func (g *Game) IsNashEquilibrium(a *core.Alloc) (bool, error) {
-	dev, err := g.FindDeviation(a, core.DefaultEps)
-	if err != nil {
+	if err := g.CheckAlloc(a); err != nil {
 		return false, err
 	}
-	return dev == nil, nil
+	return g.IsNashEquilibriumWith(core.NewWorkspace(), a)
+}
+
+// IsNashEquilibriumWith decides NE membership in the caller's workspace
+// via the shared screen-then-prove oracle (core.RateView.ScreenedNE) with
+// per-user budgets: identical verdict to IsNashEquilibrium, zero
+// steady-state allocations. The allocation is not re-validated.
+func (g *Game) IsNashEquilibriumWith(ws *core.Workspace, a *core.Alloc) (bool, error) {
+	if ws == nil {
+		return false, fmt.Errorf("hetero: nil workspace")
+	}
+	return g.view.ScreenedNE(ws, a, 0, g.budgets, core.DefaultEps), nil
 }
 
 // Algorithm1 runs the paper's sequential greedy allocation with per-user
@@ -210,7 +249,7 @@ func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
 	for _, k := range g.budgets {
 		total += k
 	}
-	return core.OptimalLoadWelfare(g.rate, g.channels, total)
+	return core.OptimalLoadWelfare(g.view.Frozen(), g.channels, total)
 }
 
 // OptimalWelfareIdleAllowed computes the maximum total rate when radios may
@@ -263,8 +302,10 @@ func (g *Game) FullDeployment(a *core.Alloc) bool {
 }
 
 // ForEachAlloc enumerates every legal strategy matrix (budgets respected,
-// idle radios allowed), guarded by maxProfiles. Exponential: exhaustive
-// oracles on tiny instances only.
+// idle radios allowed), guarded by maxProfiles, calling fn with a reused
+// Alloc that fn must treat as read-only. The walk is odometer-aware: only
+// rows whose digit changed between consecutive profiles are re-set.
+// Exponential: exhaustive oracles on tiny instances only.
 func ForEachAlloc(g *Game, maxProfiles int64, fn func(*core.Alloc) bool) error {
 	rowsPerUser := make([][][]int, g.Users())
 	for i := 0; i < g.Users(); i++ {
@@ -278,11 +319,13 @@ func ForEachAlloc(g *Game, maxProfiles int64, fn func(*core.Alloc) bool) error {
 			}
 		}
 	}
+	// Divide-based cap guard: multiplying first could overflow int64 for
+	// huge per-user strategy counts (see core.checkProfileCap).
 	totalProfiles := int64(1)
 	sizes := make([]int, g.Users())
 	for i, rows := range rowsPerUser {
 		sizes[i] = len(rows)
-		if totalProfiles > maxProfiles/int64(len(rows))+1 {
+		if totalProfiles > maxProfiles/int64(len(rows)) {
 			return fmt.Errorf("hetero: strategy space too large (> %d profiles)", maxProfiles)
 		}
 		totalProfiles *= int64(len(rows))
@@ -292,22 +335,18 @@ func ForEachAlloc(g *Game, maxProfiles int64, fn func(*core.Alloc) bool) error {
 	}
 
 	a := g.NewEmptyAlloc()
-	return combin.Product(sizes, func(idx []int) bool {
-		for i, ri := range idx {
-			if err := a.SetRow(i, rowsPerUser[i][ri]); err != nil {
-				return false
-			}
-		}
-		return fn(a)
-	})
+	return core.ProductWalk(a, 0, sizes, func(u, ri int) []int { return rowsPerUser[u][ri] }, "hetero", fn)
 }
 
-// EnumerateNE collects every exact Nash equilibrium of a tiny game.
+// EnumerateNE collects every exact Nash equilibrium of a tiny game (via
+// the screened workspace oracle; identical results and order to checking
+// IsNashEquilibrium per profile).
 func EnumerateNE(g *Game, maxProfiles int64) ([]*core.Alloc, error) {
+	ws := core.NewWorkspace()
 	var out []*core.Alloc
 	var innerErr error
 	err := ForEachAlloc(g, maxProfiles, func(a *core.Alloc) bool {
-		ne, err := g.IsNashEquilibrium(a)
+		ne, err := g.IsNashEquilibriumWith(ws, a)
 		if err != nil {
 			innerErr = err
 			return false

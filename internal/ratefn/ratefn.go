@@ -305,6 +305,30 @@ func (m *MonotoneEnvelope) Rate(k int) float64 {
 // Name implements Func.
 func (m *MonotoneEnvelope) Name() string { return "monotone(" + m.inner.Name() + ")" }
 
+// Freeze samples inner on 1..maxK and returns a Table snapshot: a lock-free
+// precomputed alternative to Memo for bounded load domains. Where Memo pays
+// an RWMutex acquisition on every call (contended when many engine workers
+// share one curve), a frozen Table is a plain slice read, safe for
+// concurrent use with no synchronisation at all. Game constructions bound
+// the load by the total number of radios, so maxK = Σ_i k_i freezes every
+// value a game can ever ask for; beyond maxK the table saturates at its
+// last value (the Table tail convention), so choose maxK to cover the
+// domain. The snapshot validates the rate-function contract and keeps
+// inner's name.
+func Freeze(inner Func, maxK int) (*Table, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("ratefn: Freeze of nil Func")
+	}
+	if maxK < 1 {
+		return nil, fmt.Errorf("ratefn: Freeze needs maxK >= 1, got %d", maxK)
+	}
+	values := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		values[k-1] = inner.Rate(k)
+	}
+	return NewTable(inner.Name(), values)
+}
+
 // Memo caches Rate lookups of an expensive inner function (such as the
 // Bianchi fixed point). It is safe for concurrent use.
 type Memo struct {

@@ -32,6 +32,13 @@ func TableRate(name string, values []float64) (RateFunc, error) {
 // non-increasing) for k in [1, maxK].
 func ValidateRate(f RateFunc, maxK int) error { return ratefn.Validate(f, maxK) }
 
+// FreezeRate samples f on 1..maxK into a lock-free table snapshot — the
+// fast alternative to the memoised CSMA rates when the load domain is
+// bounded (a game can never load a channel beyond its total radio count,
+// so maxK = |N|·k covers everything). Beyond maxK the table saturates at
+// its last value.
+func FreezeRate(f RateFunc, maxK int) (RateFunc, error) { return ratefn.Freeze(f, maxK) }
+
 // DCFParams parameterises Bianchi's 802.11 DCF model.
 type DCFParams = bianchi.Params
 
