@@ -523,3 +523,74 @@ func BenchmarkDispatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEnumerateNESymmetry measures the canonical-orbit enumeration on
+// the all-equal-k game of BenchmarkEnumerateNESerial, WITHOUT the orbit
+// expansion back to the unreduced output — the raw cost of the
+// symmetry-reduced walk (C(R+N-1, N) canonical profiles instead of R^N).
+// The gap to BenchmarkEnumerateNESerial is the expansion adapter's cost.
+func BenchmarkEnumerateNESymmetry(b *testing.B) {
+	b.ReportAllocs()
+	g := benchGame(b, 4, 4, 2, chanalloc.TDMA(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps, err := chanalloc.EnumerateNECanonical(g, 10_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reps) == 0 {
+			b.Fatal("no NE found")
+		}
+	}
+}
+
+// BenchmarkScreenIncremental measures symmetry-reduced enumeration on a
+// mixed-budget heterogeneous game (budgets 1,2,2,3 over 4 channels): three
+// exchangeability classes, so the orbit reduction is weak and the runtime
+// is dominated by the per-profile screen — the lever here is the
+// incremental screen cache (per-user verdicts invalidated only via the
+// walk's dirty-channel stamps) rather than orbit collapsing.
+func BenchmarkScreenIncremental(b *testing.B) {
+	b.ReportAllocs()
+	g, err := chanalloc.NewHeteroGame(4, []int{1, 2, 2, 3}, chanalloc.TDMA(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps, err := chanalloc.HeteroEnumerateNECanonical(g, 10_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reps) == 0 {
+			b.Fatal("no NE found")
+		}
+	}
+}
+
+// BenchmarkDistPolicy measures one best-response Propose against announced
+// loads — the device-side hot path of the distributed protocol. The
+// steady-state (no-move) reply must stay allocation-free now that the
+// policy owns a reusable DP workspace.
+func BenchmarkDistPolicy(b *testing.B) {
+	b.ReportAllocs()
+	r := chanalloc.TDMA(1)
+	policy := &chanalloc.BestResponsePolicy{Rate: r}
+	ext := []int{5, 4, 6, 3, 5, 4, 6, 5}
+	// A row that is already a best response to ext, so Propose takes the
+	// no-move path every iteration.
+	current, _, err := chanalloc.BestResponseToLoads(r, ext, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := policy.Propose(ext, current, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(row) != len(ext) {
+			b.Fatal("bad row")
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	benchdiff -threshold 0.1 old.json new.json  # flag >10% slowdowns
 //	benchdiff -annotate old.json new.json       # ::warning:: lines for CI
 //	benchdiff -fail old.json new.json           # exit 1 when flagged
+//	benchdiff -history dev/bench new.json       # diff vs committed history
 //
 // Benchmarks are matched by (name, procs). Entries present on only one
 // side are reported as added/removed, never flagged — a renamed benchmark
@@ -17,6 +18,16 @@
 // flagged like an ns/op regression, so an allocation-free kernel stays
 // allocation-free. Exit status is 0 unless -fail is given and at least one
 // regression exceeds the threshold.
+//
+// With -history DIR the single positional argument is the new report and
+// the baseline is the committed trajectory: every BENCH_*.json under DIR,
+// in filename (= date) order. The new run is diffed against the latest
+// artifact exactly as in two-file mode, and additionally against each
+// benchmark's best-ever ns/op and its rolling median over the last
+// -window artifacts. A run more than threshold above best-ever or the
+// median is flagged DRIFT>BEST / DRIFT>MEDIAN even when the step from the
+// previous artifact is small — the failure mode of a previous-run-only
+// diff, where a sequence of +5% PRs never trips a +20% gate.
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -79,25 +91,59 @@ type key struct {
 	procs int
 }
 
+// histStat summarises one benchmark's committed trajectory: the best-ever
+// ns/op across all artifacts and the median over the most recent window.
+type histStat struct {
+	best   float64
+	median float64
+	runs   int
+}
+
 func run(args []string, out io.Writer) (regressions int, err error) {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 0.20, "flag ns/op increases above this fraction (0.20 = +20%)")
 	annotate := fs.Bool("annotate", false, "emit GitHub ::warning:: annotations for regressions")
 	fail := fs.Bool("fail", false, "exit 1 when any regression exceeds the threshold")
+	historyDir := fs.String("history", "", "directory of committed BENCH_*.json artifacts; compare the single NEW report against the latest, best-ever and rolling-median of that history")
+	window := fs.Int("window", 8, "rolling-median window: number of most recent history artifacts (with -history)")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
 	failFlagged = *fail
-	if fs.NArg() != 2 {
-		return 0, fmt.Errorf("want exactly two reports: benchdiff old.json new.json")
-	}
-	oldRep, err := readReport(fs.Arg(0))
-	if err != nil {
-		return 0, err
-	}
-	newRep, err := readReport(fs.Arg(1))
-	if err != nil {
-		return 0, err
+
+	var oldRep, newRep Report
+	var oldLabel string
+	hist := map[key]histStat{}
+	if *historyDir != "" {
+		if fs.NArg() != 1 {
+			return 0, fmt.Errorf("want exactly one report with -history: benchdiff -history dir new.json")
+		}
+		reports, paths, err := readHistory(*historyDir)
+		if err != nil {
+			return 0, err
+		}
+		newRep, err = readReport(fs.Arg(0))
+		if err != nil {
+			return 0, err
+		}
+		oldRep = reports[len(reports)-1]
+		oldLabel = labelOr(oldRep.Date, paths[len(paths)-1])
+		hist = historyStats(reports, *window)
+		fmt.Fprintf(out, "history: %d artifact(s) under %s, rolling-median window %d\n",
+			len(reports), *historyDir, *window)
+	} else {
+		if fs.NArg() != 2 {
+			return 0, fmt.Errorf("want exactly two reports: benchdiff old.json new.json")
+		}
+		oldRep, err = readReport(fs.Arg(0))
+		if err != nil {
+			return 0, err
+		}
+		newRep, err = readReport(fs.Arg(1))
+		if err != nil {
+			return 0, err
+		}
+		oldLabel = labelOr(oldRep.Date, fs.Arg(0))
 	}
 
 	oldBy := map[key]Entry{}
@@ -125,14 +171,34 @@ func run(args []string, out io.Writer) (regressions int, err error) {
 	})
 
 	fmt.Fprintf(out, "benchdiff %s -> %s (threshold %+.0f%%)\n",
-		labelOr(oldRep.Date, fs.Arg(0)), labelOr(newRep.Date, fs.Arg(1)), *threshold*100)
+		oldLabel, labelOr(newRep.Date, fs.Arg(fs.NArg()-1)), *threshold*100)
 	for _, k := range keys {
 		oldE, inOld := oldBy[k]
 		newE, inNew := newBy[k]
 		name := fmt.Sprintf("%s-%d", k.name, k.procs)
+		histNote := ""
+		if h, ok := hist[k]; ok && inNew {
+			histNote = fmt.Sprintf("  best %.0f  median %.0f", h.best, h.median)
+			if h.best > 0 && newE.NsPerOp/h.best-1 > *threshold {
+				histNote += "  DRIFT>BEST"
+				regressions++
+				if *annotate {
+					fmt.Fprintf(out, "::warning title=bench drift::%s ns/op %.0f is %+.1f%% above best-ever %.0f\n",
+						name, newE.NsPerOp, (newE.NsPerOp/h.best-1)*100, h.best)
+				}
+			}
+			if h.median > 0 && newE.NsPerOp/h.median-1 > *threshold {
+				histNote += "  DRIFT>MEDIAN"
+				regressions++
+				if *annotate {
+					fmt.Fprintf(out, "::warning title=bench drift::%s ns/op %.0f is %+.1f%% above rolling median %.0f\n",
+						name, newE.NsPerOp, (newE.NsPerOp/h.median-1)*100, h.median)
+				}
+			}
+		}
 		switch {
 		case !inOld:
-			fmt.Fprintf(out, "  %-60s %14s %12.0f ns/op  (added)\n", name, "", newE.NsPerOp)
+			fmt.Fprintf(out, "  %-60s %14s %12.0f ns/op  (added)%s\n", name, "", newE.NsPerOp, histNote)
 		case !inNew:
 			fmt.Fprintf(out, "  %-60s %12.0f ns/op %12s  (removed)\n", name, oldE.NsPerOp, "")
 		case oldE.NsPerOp <= 0:
@@ -164,13 +230,82 @@ func run(args []string, out io.Writer) (regressions int, err error) {
 					}
 				}
 			}
-			fmt.Fprintf(out, "  %-60s %12.0f -> %9.0f ns/op  %+7.1f%%%s%s\n",
-				name, oldE.NsPerOp, newE.NsPerOp, delta*100, flag, allocNote)
+			fmt.Fprintf(out, "  %-60s %12.0f -> %9.0f ns/op  %+7.1f%%%s%s%s\n",
+				name, oldE.NsPerOp, newE.NsPerOp, delta*100, flag, allocNote, histNote)
 		}
 	}
 	fmt.Fprintf(out, "%d benchmark(s) compared, %d regression(s) above %+.0f%%\n",
 		len(keys), regressions, *threshold*100)
 	return regressions, nil
+}
+
+// readHistory loads every BENCH_*.json under dir in filename order.
+// Artifact names embed ISO dates, so lexicographic order is chronological.
+func readHistory(dir string) ([]Report, []string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("globbing history: %w", err)
+	}
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("no BENCH_*.json artifacts under %s", dir)
+	}
+	sort.Strings(paths)
+	reports := make([]Report, 0, len(paths))
+	for _, p := range paths {
+		r, err := readReport(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports = append(reports, r)
+	}
+	return reports, paths, nil
+}
+
+// historyStats folds the trajectory into per-benchmark best-ever and
+// rolling-median figures. Zero/negative ns/op entries are dropped (a
+// malformed artifact must not become an unbeatable best), and the median
+// covers only the artifacts that actually carry the benchmark, so a
+// benchmark added mid-history is judged against its own runs.
+func historyStats(reports []Report, window int) map[key]histStat {
+	series := map[key][]float64{}
+	for _, r := range reports {
+		for _, e := range r.Entries {
+			if e.NsPerOp <= 0 {
+				continue
+			}
+			k := key{e.Name, e.Procs}
+			series[k] = append(series[k], e.NsPerOp)
+		}
+	}
+	out := make(map[key]histStat, len(series))
+	for k, vs := range series {
+		best := vs[0]
+		for _, v := range vs {
+			if v < best {
+				best = v
+			}
+		}
+		recent := vs
+		if window > 0 && len(recent) > window {
+			recent = recent[len(recent)-window:]
+		}
+		out[k] = histStat{best: best, median: median(recent), runs: len(vs)}
+	}
+	return out
+}
+
+// median returns the middle value of vs (mean of the two middles when even).
+func median(vs []float64) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
 // readReport loads one BENCH_<date>.json document.

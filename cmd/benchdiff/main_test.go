@@ -106,6 +106,127 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// writeHistory drops several artifacts into one directory (the committed
+// dev/bench layout) and returns the directory.
+func writeHistory(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// Three-artifact trajectory. Drifter creeps up in small steps (none alone
+// crossing 20%) but ends 25% above its best; Steady holds flat; Windowed
+// had one slow outlier early, so its full-history median differs from a
+// short rolling window.
+func historyFixture(t *testing.T) string {
+	t.Helper()
+	return writeHistory(t, map[string]string{
+		"BENCH_2026-08-01.json": `{"date":"2026-08-01","entries":[
+			{"name":"Drifter","procs":16,"ns_per_op":1000},
+			{"name":"Steady","procs":16,"ns_per_op":1000},
+			{"name":"Windowed","procs":16,"ns_per_op":2000}]}`,
+		"BENCH_2026-08-02.json": `{"date":"2026-08-02","entries":[
+			{"name":"Drifter","procs":16,"ns_per_op":1100},
+			{"name":"Steady","procs":16,"ns_per_op":1000},
+			{"name":"Windowed","procs":16,"ns_per_op":900}]}`,
+		"BENCH_2026-08-03.json": `{"date":"2026-08-03","entries":[
+			{"name":"Drifter","procs":16,"ns_per_op":1150},
+			{"name":"Steady","procs":16,"ns_per_op":1000},
+			{"name":"Windowed","procs":16,"ns_per_op":1000}]}`,
+	})
+}
+
+const historyNewReport = `{"date":"2026-08-08","entries":[
+	{"name":"Drifter","procs":16,"ns_per_op":1250},
+	{"name":"Steady","procs":16,"ns_per_op":1010},
+	{"name":"Windowed","procs":16,"ns_per_op":1200}]}`
+
+// TestRunHistoryMode: a creeping slowdown invisible to the previous-run
+// diff (+8.7% step) is still flagged against best-ever (+25%), while a
+// flat benchmark stays clean.
+func TestRunHistoryMode(t *testing.T) {
+	dir := historyFixture(t)
+	newPath := writeReport(t, "new.json", historyNewReport)
+	var b strings.Builder
+	regressions, err := run([]string{"-history", dir, newPath}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	// Drifter: +25% over best-ever. Windowed: +33% over best-ever 900.
+	// Neither exceeds +20% over the previous artifact or the full median.
+	if regressions != 2 {
+		t.Fatalf("%d regressions, want 2 (both DRIFT>BEST):\n%s", regressions, got)
+	}
+	if !strings.Contains(got, "history: 3 artifact(s)") {
+		t.Fatalf("history header missing:\n%s", got)
+	}
+	if strings.Count(got, "DRIFT>BEST") != 2 || strings.Contains(got, "DRIFT>MEDIAN") {
+		t.Fatalf("drift flags wrong:\n%s", got)
+	}
+	if strings.Contains(got, "  REGRESSION") {
+		t.Fatalf("previous-run regression wrongly flagged:\n%s", got)
+	}
+	// Baseline for the step diff is the latest artifact.
+	if !strings.Contains(got, "2026-08-03 -> 2026-08-08") {
+		t.Fatalf("latest-artifact baseline missing:\n%s", got)
+	}
+	if !strings.Contains(got, "best 1000  median 1100") {
+		t.Fatalf("best/median columns missing for Drifter:\n%s", got)
+	}
+}
+
+// TestRunHistoryWindow: shrinking the rolling window drops Windowed's old
+// 2000 ns/op outlier, pulling the median down to 950 so the new 1200 run
+// also drifts past the median.
+func TestRunHistoryWindow(t *testing.T) {
+	dir := historyFixture(t)
+	newPath := writeReport(t, "new.json", historyNewReport)
+	var b strings.Builder
+	regressions, err := run([]string{"-history", dir, "-window", "2", newPath}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if regressions != 3 {
+		t.Fatalf("%d regressions with window 2, want 3:\n%s", regressions, got)
+	}
+	if !strings.Contains(got, "DRIFT>MEDIAN") {
+		t.Fatalf("windowed median drift not flagged:\n%s", got)
+	}
+}
+
+// TestRunHistoryAnnotate: drift flags emit CI warnings like step
+// regressions do.
+func TestRunHistoryAnnotate(t *testing.T) {
+	dir := historyFixture(t)
+	newPath := writeReport(t, "new.json", historyNewReport)
+	var b strings.Builder
+	if _, err := run([]string{"-annotate", "-history", dir, newPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "::warning title=bench drift::Drifter-16") {
+		t.Fatalf("missing drift annotation:\n%s", b.String())
+	}
+}
+
+func TestRunHistoryErrors(t *testing.T) {
+	dir := historyFixture(t)
+	newPath := writeReport(t, "new.json", historyNewReport)
+	var b strings.Builder
+	if _, err := run([]string{"-history", dir, newPath, newPath}, &b); err == nil {
+		t.Fatal("two reports with -history should error")
+	}
+	if _, err := run([]string{"-history", t.TempDir(), newPath}, &b); err == nil {
+		t.Fatal("empty history directory should error")
+	}
+}
+
 const oldAllocReport = `{
   "date": "2026-07-27",
   "entries": [

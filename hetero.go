@@ -49,6 +49,26 @@ func HeteroPriceOfAnarchy(g *HeteroGame, a *Alloc) (float64, error) {
 	return hetero.PriceOfAnarchy(g, a)
 }
 
+// HeteroEnumerateNE collects every exact Nash equilibrium of a tiny
+// heterogeneous game (capped by maxProfiles). Like EnumerateNE the search
+// is symmetry-reduced over equal-budget user classes.
+func HeteroEnumerateNE(g *HeteroGame, maxProfiles int64) ([]*Alloc, error) {
+	return hetero.EnumerateNE(g, maxProfiles)
+}
+
+// HeteroEnumerateNECanonical enumerates equilibrium orbits of a
+// heterogeneous game: one canonical representative per orbit with its
+// multiplicity (see CanonicalNE).
+func HeteroEnumerateNECanonical(g *HeteroGame, maxProfiles int64) ([]CanonicalNE, error) {
+	return hetero.EnumerateNECanonical(g, maxProfiles)
+}
+
+// HeteroExpandNEOrbits reconstructs the unreduced HeteroEnumerateNE output
+// from canonical representatives.
+func HeteroExpandNEOrbits(g *HeteroGame, reps []CanonicalNE) ([]*Alloc, error) {
+	return hetero.ExpandNEOrbits(g, reps)
+}
+
 // Spectrum modelling: bands, channels, devices and radio-level assignments.
 type (
 	// Band is a frequency band of equal-width orthogonal channels.

@@ -9,15 +9,19 @@ import (
 )
 
 // EnumerateNEParallel is EnumerateNE sharded over the engine's worker
-// pool. The profile space is partitioned by the first user's strategy row
-// (the outermost odometer digit of the serial enumeration) — or, when the
-// game has fewer rows than twice the pool (few strategies per user, the
-// many-user regime), by the first two users' rows, which squares the shard
-// count and keeps every worker busy. Each shard is searched independently
-// and the shard results are concatenated in digit order — so the output is
-// identical, equilibrium for equilibrium, to the serial EnumerateNE
-// regardless of worker count or sharding depth. workers < 1 means
-// runtime.NumCPU().
+// pool. The CANONICAL orbit space is partitioned by the first user's
+// pinned strategy row (the outermost digit of the serial canonical walk)
+// — or, when the game has fewer rows than twice the pool (few strategies
+// per user, the many-user regime), by the first two users' rows, which
+// squares the shard count and keeps every worker busy. Sharding the
+// canonical space rather than the raw row grid preserves the symmetry
+// reduction under parallelism: a pinned prefix that is not canonical
+// (second digit below the first within a class) is an empty shard and
+// returns immediately instead of re-walking orbits another shard owns.
+// Shard results are concatenated in digit order and expanded to the
+// unreduced output once at the end — so the output is identical,
+// equilibrium for equilibrium, to the serial EnumerateNE regardless of
+// worker count or sharding depth. workers < 1 means runtime.NumCPU().
 func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, error) {
 	rows, err := strategyRows(g)
 	if err != nil {
@@ -42,57 +46,29 @@ func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, err
 		shardCount = len(rows) * len(rows)
 	}
 
-	shards, _, err := engine.Map(shardCount, func(job int, _ *des.RNG) ([]*Alloc, error) {
-		a := g.NewEmptyAlloc()
+	shards, _, err := engine.Map(shardCount, func(job int, _ *des.RNG) ([]CanonicalNE, error) {
 		// Decode the shard's pinned leading digits (job is the serial
-		// enumeration's leading odometer reading).
-		pinned := depth
-		digits := [2]int{job, 0}
+		// walk's leading odometer reading).
+		digits := make([]int, depth)
+		digits[0] = job
 		if depth == 2 {
 			digits[0], digits[1] = job/len(rows), job%len(rows)
 		}
-		for u := 0; u < pinned; u++ {
-			if err := a.SetRow(u, rows[digits[u]]); err != nil {
-				return nil, fmt.Errorf("core: shard %d: %w", job, err)
-			}
-		}
-		// The full product over the remaining users with the pinned rows
-		// fixed; one profile when every user is pinned.
-		rest := make([]int, g.Users()-pinned)
-		for i := range rest {
-			rest[i] = len(rows)
-		}
-		ws := NewWorkspace()
-		var out []*Alloc
-		var innerErr error
-		err := forEachRest(a, rows, pinned, rest, func(b *Alloc) bool {
-			ok, err := g.IsNashEquilibriumWith(ws, b)
-			if err != nil {
-				innerErr = err
-				return false
-			}
-			if ok {
-				out = append(out, b.Clone())
-			}
-			return true
-		})
+		reps, err := g.orbitEnumerator(rows).CanonicalShard(digits)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: shard %d: %w", job, err)
 		}
-		if innerErr != nil {
-			return nil, innerErr
-		}
-		return out, nil
+		return reps, nil
 	}, engine.Workers(workers))
 	if err != nil {
 		return nil, err
 	}
 
-	var all []*Alloc
+	var all []CanonicalNE
 	for _, shard := range shards {
 		all = append(all, shard...)
 	}
-	return all, nil
+	return g.orbitEnumerator(rows).Expand(all)
 }
 
 // forEachRest walks the cartesian product of strategy rows for users

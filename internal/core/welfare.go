@@ -213,32 +213,21 @@ func ProductWalk(a *Alloc, offset int, sizes []int, rowFor func(user, idx int) [
 }
 
 // EnumerateNE collects every Nash equilibrium of a tiny game by exhaustive
-// best-response checking (the screened, workspace-backed oracle; results
-// and order are identical to checking IsNashEquilibrium per profile).
-// Intended for cross-validation tests; guarded by maxProfiles like
-// ForEachAlloc.
+// best-response checking (results and order are identical to walking the
+// full profile grid and checking IsNashEquilibrium per profile). Intended
+// for cross-validation tests; guarded by maxProfiles like ForEachAlloc.
+//
+// Internally the search is symmetry-reduced: users of equal budget are
+// exchangeable, so only canonical orbit representatives are tested (see
+// EnumerateNECanonical) and the full equilibrium set is reconstructed by
+// orbit expansion — same allocations, same order, visiting a C(R+N-1, N)
+// canonical space instead of the R^N grid.
 func EnumerateNE(g *Game, maxProfiles int64) ([]*Alloc, error) {
-	ws := NewWorkspace()
-	var out []*Alloc
-	var innerErr error
-	err := ForEachAlloc(g, maxProfiles, func(a *Alloc) bool {
-		ok, err := g.IsNashEquilibriumWith(ws, a)
-		if err != nil {
-			innerErr = err
-			return false
-		}
-		if ok {
-			out = append(out, a.Clone())
-		}
-		return true
-	})
+	reps, err := EnumerateNECanonical(g, maxProfiles)
 	if err != nil {
 		return nil, err
 	}
-	if innerErr != nil {
-		return nil, innerErr
-	}
-	return out, nil
+	return ExpandNEOrbits(g, reps)
 }
 
 // FindParetoImprovement exhaustively searches for an allocation that makes

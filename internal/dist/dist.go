@@ -71,9 +71,17 @@ type BestResponsePolicy struct {
 	// Eps is the minimum strict improvement for a move; zero means
 	// core.DefaultEps.
 	Eps float64
+
+	// ws is the device's reusable DP scratch, created on first Propose.
+	// Policies are per-device state (one goroutine each in the ring), so
+	// the workspace is never shared.
+	ws *core.Workspace
 }
 
-// Propose implements Policy.
+// Propose implements Policy. The DP runs in the policy's own workspace, so
+// the steady-state token round (no move) allocates nothing; a move copies
+// the proposed row out of the workspace, since the caller may retain it
+// past the next Propose.
 func (p *BestResponsePolicy) Propose(ext, current []int, radios int) ([]int, error) {
 	if p.Rate == nil {
 		return nil, fmt.Errorf("dist: BestResponsePolicy needs a rate function")
@@ -82,12 +90,15 @@ func (p *BestResponsePolicy) Propose(ext, current []int, radios int) ([]int, err
 	if eps == 0 {
 		eps = core.DefaultEps
 	}
-	row, best, err := core.BestResponseToLoads(p.Rate, ext, radios)
+	if p.ws == nil {
+		p.ws = core.NewWorkspace()
+	}
+	row, best, err := core.BestResponseToLoadsInto(p.ws, p.Rate, ext, radios)
 	if err != nil {
 		return nil, err
 	}
 	if best > utilityAgainst(p.Rate, ext, current)+eps {
-		return row, nil
+		return append([]int(nil), row...), nil
 	}
 	return current, nil
 }

@@ -152,12 +152,28 @@ func RunBestResponse(g *core.Game, start *core.Alloc, opts ...Option) (Result, e
 	for i := range order {
 		order[i] = i
 	}
+	// Cached quiet verdicts: quietAt[i] is the move count at which user i
+	// was last verified to have no improving deviation, -1 if never. When
+	// nobody has moved since (res.Moves unchanged), the allocation is
+	// bit-identical to the one that verdict was computed on, so the DP is
+	// skipped — same moves, trace and convergence round, at the cost of an
+	// integer compare. The final quiet sweep in particular re-runs the DP
+	// only for users checked before the last accepted move. A mover is
+	// never marked quiet: its post-move utility comes from a different
+	// float grouping than the DP fold, so the verdict must be recomputed.
+	quietAt := make([]int, g.Users())
+	for i := range quietAt {
+		quietAt[i] = -1
+	}
 	for round := 0; round < cfg.maxRounds; round++ {
 		if cfg.schedule == RandomOrder {
 			order = rng.Perm(g.Users())
 		}
 		improved := false
 		for _, i := range order {
+			if quietAt[i] == res.Moves {
+				continue
+			}
 			current := g.Utility(a, i)
 			row, best, err := g.BestResponseInto(ws, a, i)
 			if err != nil {
@@ -169,7 +185,9 @@ func RunBestResponse(g *core.Game, start *core.Alloc, opts ...Option) (Result, e
 				}
 				res.Moves++
 				improved = true
+				continue
 			}
+			quietAt[i] = res.Moves
 		}
 		res.Rounds++
 		res.PotentialTrace = append(res.PotentialTrace, g.Potential(a))

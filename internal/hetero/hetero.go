@@ -301,30 +301,40 @@ func (g *Game) FullDeployment(a *core.Alloc) bool {
 	return true
 }
 
-// ForEachAlloc enumerates every legal strategy matrix (budgets respected,
-// idle radios allowed), guarded by maxProfiles, calling fn with a reused
-// Alloc that fn must treat as read-only. The walk is odometer-aware: only
-// rows whose digit changed between consecutive profiles are re-set.
-// Exponential: exhaustive oracles on tiny instances only.
-func ForEachAlloc(g *Game, maxProfiles int64, fn func(*core.Alloc) bool) error {
+// strategyRowsPerUser materialises every user's legal strategy rows (all
+// radio vectors with total between 0 and k_i). Equal-budget users receive
+// the SAME table slice, which is the exchangeability contract of the
+// symmetry-reduced enumerator and also trims redundant composition walks.
+func strategyRowsPerUser(g *Game) ([][][]int, error) {
+	byBudget := make(map[int][][]int, 4)
 	rowsPerUser := make([][][]int, g.Users())
 	for i := 0; i < g.Users(); i++ {
+		if rows, ok := byBudget[g.budgets[i]]; ok {
+			rowsPerUser[i] = rows
+			continue
+		}
+		var rows [][]int
 		for total := 0; total <= g.budgets[i]; total++ {
 			err := combin.Compositions(total, g.channels, func(row []int) bool {
-				rowsPerUser[i] = append(rowsPerUser[i], append([]int(nil), row...))
+				rows = append(rows, append([]int(nil), row...))
 				return true
 			})
 			if err != nil {
-				return err
+				return nil, err
 			}
 		}
+		byBudget[g.budgets[i]] = rows
+		rowsPerUser[i] = rows
 	}
-	// Divide-based cap guard: multiplying first could overflow int64 for
-	// huge per-user strategy counts (see core.checkProfileCap).
+	return rowsPerUser, nil
+}
+
+// checkProfileCap guards the FULL (unreduced) profile count against
+// maxProfiles. Divide-based: multiplying first could overflow int64 for
+// huge per-user strategy counts (see core.checkProfileCap).
+func checkProfileCap(rowsPerUser [][][]int, maxProfiles int64) error {
 	totalProfiles := int64(1)
-	sizes := make([]int, g.Users())
-	for i, rows := range rowsPerUser {
-		sizes[i] = len(rows)
+	for _, rows := range rowsPerUser {
 		if totalProfiles > maxProfiles/int64(len(rows)) {
 			return fmt.Errorf("hetero: strategy space too large (> %d profiles)", maxProfiles)
 		}
@@ -333,34 +343,80 @@ func ForEachAlloc(g *Game, maxProfiles int64, fn func(*core.Alloc) bool) error {
 	if totalProfiles > maxProfiles {
 		return fmt.Errorf("hetero: strategy space has %d profiles, cap is %d", totalProfiles, maxProfiles)
 	}
+	return nil
+}
 
+// orbitEnumerator builds the shared symmetry-reduction engine (see
+// core.OrbitEnumerator): exchangeability classes are the equal-budget user
+// groups, which in a mixed-budget game need not be contiguous.
+func (g *Game) orbitEnumerator(rowsPerUser [][][]int) *core.OrbitEnumerator {
+	return &core.OrbitEnumerator{
+		View:      g.view,
+		Channels:  g.channels,
+		Budgets:   g.budgets,
+		RowsFor:   func(u int) [][]int { return rowsPerUser[u] },
+		Eps:       core.DefaultEps,
+		ErrPrefix: "hetero",
+	}
+}
+
+// ForEachAlloc enumerates every legal strategy matrix (budgets respected,
+// idle radios allowed), guarded by maxProfiles, calling fn with a reused
+// Alloc that fn must treat as read-only. The walk is odometer-aware: only
+// rows whose digit changed between consecutive profiles are re-set.
+// Exponential: exhaustive oracles on tiny instances only.
+func ForEachAlloc(g *Game, maxProfiles int64, fn func(*core.Alloc) bool) error {
+	rowsPerUser, err := strategyRowsPerUser(g)
+	if err != nil {
+		return err
+	}
+	if err := checkProfileCap(rowsPerUser, maxProfiles); err != nil {
+		return err
+	}
+	sizes := make([]int, g.Users())
+	for i, rows := range rowsPerUser {
+		sizes[i] = len(rows)
+	}
 	a := g.NewEmptyAlloc()
 	return core.ProductWalk(a, 0, sizes, func(u, ri int) []int { return rowsPerUser[u][ri] }, "hetero", fn)
 }
 
-// EnumerateNE collects every exact Nash equilibrium of a tiny game (via
-// the screened workspace oracle; identical results and order to checking
-// IsNashEquilibrium per profile).
-func EnumerateNE(g *Game, maxProfiles int64) ([]*core.Alloc, error) {
-	ws := core.NewWorkspace()
-	var out []*core.Alloc
-	var innerErr error
-	err := ForEachAlloc(g, maxProfiles, func(a *core.Alloc) bool {
-		ne, err := g.IsNashEquilibriumWith(ws, a)
-		if err != nil {
-			innerErr = err
-			return false
-		}
-		if ne {
-			out = append(out, a.Clone())
-		}
-		return true
-	})
+// EnumerateNECanonical enumerates Nash equilibria over canonical orbit
+// representatives only: users of equal budget are exchangeable, so one
+// representative per orbit (row indices non-decreasing along each budget
+// class) is tested and returned with its orbit size. The profile cap
+// guards the full unreduced space, keeping refusal behaviour identical to
+// ForEachAlloc/EnumerateNE.
+func EnumerateNECanonical(g *Game, maxProfiles int64) ([]core.CanonicalNE, error) {
+	rowsPerUser, err := strategyRowsPerUser(g)
 	if err != nil {
 		return nil, err
 	}
-	if innerErr != nil {
-		return nil, innerErr
+	if err := checkProfileCap(rowsPerUser, maxProfiles); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return g.orbitEnumerator(rowsPerUser).Canonical()
+}
+
+// ExpandNEOrbits reconstructs the unreduced EnumerateNE output (every
+// orbit member, odometer order) from canonical representatives.
+func ExpandNEOrbits(g *Game, reps []core.CanonicalNE) ([]*core.Alloc, error) {
+	rowsPerUser, err := strategyRowsPerUser(g)
+	if err != nil {
+		return nil, err
+	}
+	return g.orbitEnumerator(rowsPerUser).Expand(reps)
+}
+
+// EnumerateNE collects every exact Nash equilibrium of a tiny game
+// (identical results and order to walking the full grid and checking
+// IsNashEquilibrium per profile). Like core.EnumerateNE the search is
+// symmetry-reduced over budget classes and the full set reconstructed by
+// orbit expansion.
+func EnumerateNE(g *Game, maxProfiles int64) ([]*core.Alloc, error) {
+	reps, err := EnumerateNECanonical(g, maxProfiles)
+	if err != nil {
+		return nil, err
+	}
+	return ExpandNEOrbits(g, reps)
 }

@@ -1,0 +1,111 @@
+package hetero
+
+import (
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+// wobble is deterministic but non-monotone, forcing the MonotoneEnvelope
+// to actually clamp.
+type wobble struct{}
+
+func (wobble) Rate(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return 3/float64(k) + 0.25*float64(k%3)
+}
+func (wobble) Name() string { return "wobble" }
+
+// orbitRates covers every ratefn family, including the Table and
+// MonotoneEnvelope forms the symmetry-reduction issue names explicitly.
+func orbitRates(t *testing.T) []ratefn.Func {
+	t.Helper()
+	table, err := ratefn.NewTable("meas", []float64{5, 5, 3.5, 2.25, 2.25, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ratefn.Func{
+		ratefn.NewTDMA(1),
+		ratefn.Harmonic{R0: 2, Alpha: 0.6},
+		ratefn.Geometric{R0: 3, Beta: 0.7},
+		ratefn.Linear{R0: 2, Slope: 0.4},
+		table,
+		ratefn.NewMonotoneEnvelope(wobble{}),
+	}
+}
+
+// unreducedEnumerateNE is the pre-reduction enumeration: full odometer over
+// every profile, screened oracle per profile.
+func unreducedEnumerateNE(t *testing.T, g *Game, maxProfiles int64) []*core.Alloc {
+	t.Helper()
+	ws := core.NewWorkspace()
+	var out []*core.Alloc
+	err := ForEachAlloc(g, maxProfiles, func(a *core.Alloc) bool {
+		ne, err := g.IsNashEquilibriumWith(ws, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ne {
+			out = append(out, a.Clone())
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestHeteroCanonicalMatchesUnreduced cross-checks the symmetry-reduced
+// mixed-budget enumeration against the full grid for every rate family:
+// expanded canonical output equals the unreduced enumeration allocation
+// for allocation in order, and orbit sizes sum to the unreduced count.
+// Budget vectors exercise contiguous, interleaved and singleton classes.
+func TestHeteroCanonicalMatchesUnreduced(t *testing.T) {
+	cases := []struct {
+		channels int
+		budgets  []int
+	}{
+		{2, []int{1, 1}},
+		{3, []int{2, 2, 1}},
+		{2, []int{1, 2, 1}}, // exchangeable users 0 and 2 straddle user 1
+		{3, []int{1, 2, 3}}, // no two users exchangeable
+		{3, []int{2, 1, 2, 1}},
+		{2, []int{2, 2, 2, 2}},
+	}
+	for _, rate := range orbitRates(t) {
+		for _, tc := range cases {
+			g := mustGame(t, tc.channels, tc.budgets, rate)
+			want := unreducedEnumerateNE(t, g, 2_000_000)
+			reps, err := EnumerateNECanonical(g, 2_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var orbitSum int64
+			for _, rep := range reps {
+				orbitSum += rep.Orbit
+			}
+			if orbitSum != int64(len(want)) {
+				t.Fatalf("%s C=%d budgets %v: orbit sizes sum to %d, unreduced enumeration has %d equilibria",
+					rate.Name(), tc.channels, tc.budgets, orbitSum, len(want))
+			}
+			got, err := EnumerateNE(g, 2_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s C=%d budgets %v: %d equilibria, unreduced enumeration found %d",
+					rate.Name(), tc.channels, tc.budgets, len(got), len(want))
+			}
+			for j := range got {
+				if !got[j].Equal(want[j]) {
+					t.Fatalf("%s C=%d budgets %v: equilibrium %d differs from unreduced order\ngot:\n%v\nwant:\n%v",
+						rate.Name(), tc.channels, tc.budgets, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
