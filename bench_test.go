@@ -568,6 +568,103 @@ func BenchmarkScreenIncremental(b *testing.B) {
 	}
 }
 
+// BenchmarkParetoImprovement measures the exhaustive Pareto-optimality
+// scan on the 4×4×2 reference game from an Algorithm 1 equilibrium — a
+// Pareto-optimal input, so every variant pays the worst case: the complete
+// walk of its search space with no early exit. "orbit" is the
+// symmetry-reduced search (one matching test per canonical representative,
+// ~13× fewer profiles than the 50625-profile grid), "unreduced" the direct
+// grid baseline it is differential-tested against, and "parallel" the
+// sharded orbit walk at NumCPU workers.
+func BenchmarkParetoImprovement(b *testing.B) {
+	b.ReportAllocs()
+	g := benchGame(b, 4, 4, 2, chanalloc.TDMA(1))
+	ne, err := chanalloc.Algorithm1(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const cap = 10_000_000
+	b.Run("orbit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w, err := chanalloc.FindParetoImprovement(g, ne, chanalloc.DefaultEps, cap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if w != nil {
+				b.Fatal("Algorithm 1's NE must be Pareto-optimal")
+			}
+		}
+	})
+	b.Run("unreduced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w, err := chanalloc.FindParetoImprovementUnreduced(g, ne, chanalloc.DefaultEps, cap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if w != nil {
+				b.Fatal("Algorithm 1's NE must be Pareto-optimal")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w, err := chanalloc.FindParetoImprovementParallel(g, ne, chanalloc.DefaultEps, cap, runtime.NumCPU())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if w != nil {
+				b.Fatal("Algorithm 1's NE must be Pareto-optimal")
+			}
+		}
+	})
+}
+
+// BenchmarkWelfareDP measures the welfare dynamic program's two steady
+// states: "into" is the slab DP in a reused workspace (the acceptance bar
+// is 0 allocs/op), "memoised" the per-game cache serving repeated
+// PriceOfAnarchy calls, and "oneshot" the allocating form kept as the
+// trajectory baseline.
+func BenchmarkWelfareDP(b *testing.B) {
+	b.ReportAllocs()
+	r := chanalloc.HarmonicRate(1, 0.5)
+	b.Run("into", func(b *testing.B) {
+		b.ReportAllocs()
+		ws := chanalloc.NewWorkspace()
+		chanalloc.OptimalLoadWelfareInto(ws, r, 16, 128) // size the slabs
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if opt, _ := chanalloc.OptimalLoadWelfareInto(ws, r, 16, 128); opt <= 0 {
+				b.Fatal("degenerate optimum")
+			}
+		}
+	})
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if opt, _ := chanalloc.OptimalLoadWelfare(r, 16, 128); opt <= 0 {
+				b.Fatal("degenerate optimum")
+			}
+		}
+	})
+	b.Run("memoised", func(b *testing.B) {
+		b.ReportAllocs()
+		g := benchGame(b, 16, 12, 8, r)
+		ne, err := chanalloc.Algorithm1(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if poa, err := chanalloc.PriceOfAnarchy(g, ne); err != nil || poa <= 0 {
+				b.Fatalf("poa %v err %v", poa, err)
+			}
+		}
+	})
+}
+
 // BenchmarkDistPolicy measures one best-response Propose against announced
 // loads — the device-side hot path of the distributed protocol. The
 // steady-state (no-move) reply must stay allocation-free now that the

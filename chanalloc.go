@@ -158,9 +158,24 @@ func BestResponseToLoadsInto(ws *Workspace, rate RateFunc, ext []int, k int) ([]
 }
 
 // OptimalWelfareAllPlaced computes the maximum total rate over allocations
-// that deploy every radio, with one optimising load vector.
+// that deploy every radio, with one optimising load vector. The welfare DP
+// runs once per game and is memoised; repeated calls are a memo read.
 func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
 	return core.OptimalWelfareAllPlaced(g)
+}
+
+// OptimalLoadWelfare maximises Σ_{c : l_c > 0} R(l_c) over load vectors on
+// C channels placing exactly total radios — the welfare DP shared by the
+// uniform and heterogeneous benchmarks, exposed for callers that only know
+// aggregate loads. One-shot form of OptimalLoadWelfareInto.
+func OptimalLoadWelfare(rate RateFunc, C, total int) (float64, []int) {
+	return core.OptimalLoadWelfare(rate, C, total)
+}
+
+// OptimalLoadWelfareInto is the welfare DP in the caller's workspace: zero
+// steady-state allocations, returned loads aliasing ws (copy to retain).
+func OptimalLoadWelfareInto(ws *Workspace, rate RateFunc, C, total int) (float64, []int) {
+	return core.OptimalLoadWelfareInto(ws, rate, C, total)
 }
 
 // OptimalWelfareIdleAllowed computes the maximum total rate when radios may
@@ -174,11 +189,31 @@ func PriceOfAnarchy(g *Game, a *Alloc) (float64, error) {
 	return core.PriceOfAnarchy(g, a)
 }
 
-// FindParetoImprovement exhaustively searches for an allocation Pareto-
-// dominating a. Exponential; intended for small instances (maxProfiles
-// caps the search).
+// FindParetoImprovement searches for an allocation Pareto-dominating a,
+// returning nil when a is Pareto-optimal over the full strategy space.
+// Exponential; intended for small instances (maxProfiles caps the search
+// by the FULL unreduced profile count). The walk is symmetry-reduced over
+// exchangeable users: each orbit of permuted-row profiles is decided by a
+// single per-class utility matching test, so an improvement is found iff
+// the unreduced scan finds one — see FindParetoImprovementUnreduced for
+// the direct grid walk kept as the differential baseline.
 func FindParetoImprovement(g *Game, a *Alloc, eps float64, maxProfiles int64) (*Alloc, error) {
 	return core.FindParetoImprovement(g, a, eps, maxProfiles)
+}
+
+// FindParetoImprovementUnreduced is the direct (unreduced) grid Pareto
+// search — the baseline the orbit-aware FindParetoImprovement is
+// differential-tested and benchmarked against.
+func FindParetoImprovementUnreduced(g *Game, a *Alloc, eps float64, maxProfiles int64) (*Alloc, error) {
+	return core.FindParetoImprovementUnreduced(g, a, eps, maxProfiles)
+}
+
+// FindParetoImprovementParallel is FindParetoImprovement sharded over the
+// deterministic worker pool by pinned leading canonical digits (like
+// EnumerateNEParallel): byte-identical results at any worker count.
+// workers < 1 means runtime.NumCPU().
+func FindParetoImprovementParallel(g *Game, a *Alloc, eps float64, maxProfiles int64, workers int) (*Alloc, error) {
+	return core.FindParetoImprovementParallel(g, a, eps, maxProfiles, workers)
 }
 
 // EnumerateNE collects every Nash equilibrium of a tiny game by exhaustive

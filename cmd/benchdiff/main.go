@@ -10,9 +10,13 @@
 //	benchdiff -fail old.json new.json           # exit 1 when flagged
 //	benchdiff -history dev/bench new.json       # diff vs committed history
 //
-// Benchmarks are matched by (name, procs). Entries present on only one
-// side are reported as added/removed, never flagged — a renamed benchmark
-// is not a regression. Allocation counts are compared when both sides
+// Benchmarks are matched by (name, procs). In two-file mode, entries
+// present on only one side are reported as added/removed, never flagged —
+// a renamed benchmark is not a regression. With -history the removal case
+// IS flagged: a benchmark present in the latest committed artifact but
+// absent from the new report is marked MISSING and counted as a
+// regression, because a benchmark silently vanishing from the stream is
+// how a perf gate goes blind. Allocation counts are compared when both sides
 // carry them (b.ReportAllocs() / -benchmem runs): a >threshold increase —
 // or any allocations appearing where the old run measured zero — is
 // flagged like an ns/op regression, so an allocation-free kernel stays
@@ -200,6 +204,20 @@ func run(args []string, out io.Writer) (regressions int, err error) {
 		case !inOld:
 			fmt.Fprintf(out, "  %-60s %14s %12.0f ns/op  (added)%s\n", name, "", newE.NsPerOp, histNote)
 		case !inNew:
+			// In two-file mode a one-sided entry is a rename, not a
+			// regression. Against committed history the judgement flips: a
+			// benchmark in the latest artifact that the new run no longer
+			// reports has silently dropped out of the trajectory — exactly
+			// the failure a drift gate cannot see — so flag it.
+			if *historyDir != "" {
+				fmt.Fprintf(out, "  %-60s %12.0f ns/op %12s  MISSING\n", name, oldE.NsPerOp, "")
+				regressions++
+				if *annotate {
+					fmt.Fprintf(out, "::warning title=bench missing::%s present in %s but absent from the new report\n",
+						name, oldLabel)
+				}
+				continue
+			}
 			fmt.Fprintf(out, "  %-60s %12.0f ns/op %12s  (removed)\n", name, oldE.NsPerOp, "")
 		case oldE.NsPerOp <= 0:
 			fmt.Fprintf(out, "  %-60s %12.0f -> %9.0f ns/op  (old is zero; skipped)\n", name, oldE.NsPerOp, newE.NsPerOp)

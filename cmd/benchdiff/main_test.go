@@ -215,6 +215,36 @@ func TestRunHistoryAnnotate(t *testing.T) {
 	}
 }
 
+// TestRunHistoryMissing: a benchmark carried by the latest committed
+// artifact but absent from the new report is flagged MISSING in history
+// mode (and annotated), unlike two-file mode where removal is neutral.
+func TestRunHistoryMissing(t *testing.T) {
+	dir := historyFixture(t)
+	// Windowed has vanished from the new run.
+	newPath := writeReport(t, "new.json", `{"date":"2026-08-08","entries":[
+		{"name":"Drifter","procs":16,"ns_per_op":1250},
+		{"name":"Steady","procs":16,"ns_per_op":1010}]}`)
+	var b strings.Builder
+	regressions, err := run([]string{"-annotate", "-history", dir, newPath}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	// Drifter still drifts past best-ever; Windowed's disappearance adds one.
+	if regressions != 2 {
+		t.Fatalf("%d regressions, want 2 (drift + missing):\n%s", regressions, got)
+	}
+	if !strings.Contains(got, "MISSING") {
+		t.Fatalf("missing benchmark not flagged:\n%s", got)
+	}
+	if !strings.Contains(got, "::warning title=bench missing::Windowed-16") {
+		t.Fatalf("missing-benchmark annotation absent:\n%s", got)
+	}
+	if strings.Contains(got, "(removed)") {
+		t.Fatalf("history mode should flag, not neutrally report, removals:\n%s", got)
+	}
+}
+
 func TestRunHistoryErrors(t *testing.T) {
 	dir := historyFixture(t)
 	newPath := writeReport(t, "new.json", historyNewReport)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"github.com/multiradio/chanalloc"
 	"github.com/multiradio/chanalloc/internal/stats"
@@ -665,6 +666,18 @@ func expHetero(out io.Writer, env expEnv) error {
 			}
 			opt, _ := chanalloc.HeteroOptimalWelfareAllPlaced(g)
 			welfare := g.Welfare(a)
+			// Exhaustive Pareto-optimality of the greedy NE, where the
+			// strategy space is small enough: the orbit-aware search under a
+			// tight cap on the unreduced profile count. Deployments over the
+			// cap report "-" rather than paying an exponential walk.
+			paretoOpt := "-"
+			w, perr := chanalloc.HeteroFindParetoImprovement(g, a, 1e-9, 200_000)
+			switch {
+			case perr == nil:
+				paretoOpt = fmt.Sprintf("%v", w == nil)
+			case !strings.Contains(perr.Error(), "profiles"):
+				return perr
+			}
 			rows = append(rows, []string{
 				fmt.Sprintf("C=%d k=%v", cfg.channels, cfg.budgets),
 				rate.Name(),
@@ -673,18 +686,19 @@ func expHetero(out io.Writer, env expEnv) error {
 				fmt.Sprintf("%.4f", welfare),
 				fmt.Sprintf("%.4f", opt),
 				fmt.Sprintf("%.4f", welfare/opt),
+				paretoOpt,
 			})
 		}
 	}
 	table, err := textplot.Table(
-		[]string{"deployment", "rate", "NE runs", "δ<=1 always", "NE welfare", "all-placed opt", "PoA"}, rows)
+		[]string{"deployment", "rate", "NE runs", "δ<=1 always", "NE welfare", "all-placed opt", "PoA", "Pareto-opt"}, rows)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(out, table)
 	fmt.Fprintln(out)
 	return writeCSV(env.csvDir, "e11_hetero.csv",
-		[]string{"deployment", "rate", "ne_runs", "balanced", "welfare", "all_opt", "poa"}, rows)
+		[]string{"deployment", "rate", "ne_runs", "balanced", "welfare", "all_opt", "poa", "pareto_opt"}, rows)
 }
 
 // writeCSV writes rows to csvDir/name when csvDir is set.

@@ -49,6 +49,20 @@ func HeteroPriceOfAnarchy(g *HeteroGame, a *Alloc) (float64, error) {
 	return hetero.PriceOfAnarchy(g, a)
 }
 
+// HeteroFindParetoImprovement searches for an allocation Pareto-dominating
+// a in a heterogeneous game (nil when a is Pareto-optimal over the full
+// strategy space). Symmetry-reduced over equal-budget user classes like
+// FindParetoImprovement; capped by the full unreduced profile count.
+func HeteroFindParetoImprovement(g *HeteroGame, a *Alloc, eps float64, maxProfiles int64) (*Alloc, error) {
+	return hetero.FindParetoImprovement(g, a, eps, maxProfiles)
+}
+
+// HeteroFindParetoImprovementUnreduced is the direct grid Pareto search —
+// the differential baseline for HeteroFindParetoImprovement.
+func HeteroFindParetoImprovementUnreduced(g *HeteroGame, a *Alloc, eps float64, maxProfiles int64) (*Alloc, error) {
+	return hetero.FindParetoImprovementUnreduced(g, a, eps, maxProfiles)
+}
+
 // HeteroEnumerateNE collects every exact Nash equilibrium of a tiny
 // heterogeneous game (capped by maxProfiles). Like EnumerateNE the search
 // is symmetry-reduced over equal-budget user classes.

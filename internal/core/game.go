@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/multiradio/chanalloc/internal/ratefn"
 )
@@ -18,6 +19,13 @@ type Game struct {
 	radios   int
 	rate     ratefn.Func
 	view     *RateView
+
+	// All-placed welfare optimum, memoised on first use (see
+	// allPlacedOptimum): written once under optOnce, read lock-free after,
+	// like the rate view tables.
+	optOnce  sync.Once
+	optVal   float64
+	optLoads []int
 }
 
 // NewGame validates and constructs a game. The paper's standing assumption
@@ -106,6 +114,27 @@ func (g *Game) Utilities(a *Alloc) []float64 {
 		out[i] = g.Utility(a, i)
 	}
 	return out
+}
+
+// UtilitiesInto is Utilities into the workspace's reusable buffer: zero
+// steady-state allocations; the returned slice aliases ws and is valid
+// until its next Utils use.
+func (g *Game) UtilitiesInto(ws *Workspace, a *Alloc) []float64 {
+	return g.view.UtilitiesInto(ws, a)
+}
+
+// allPlacedOptimum computes the all-placed welfare optimum once per game
+// and serves the memo afterwards: PriceOfAnarchy sweeps over many
+// allocations of one game pay the O(|C|·T²) DP a single time. The returned
+// load slice is the memo itself — internal callers must not mutate it; the
+// public OptimalWelfareAllPlaced copies.
+func (g *Game) allPlacedOptimum() (float64, []int) {
+	g.optOnce.Do(func() {
+		val, loads := OptimalLoadWelfareInto(NewWorkspace(), g.view.Frozen(), g.channels, g.users*g.radios)
+		g.optVal = val
+		g.optLoads = append([]int(nil), loads...)
+	})
+	return g.optVal, g.optLoads
 }
 
 // Welfare computes the total rate achieved by all users,

@@ -71,6 +71,62 @@ func EnumerateNEParallel(g *Game, maxProfiles int64, workers int) ([]*Alloc, err
 	return g.orbitEnumerator(rows).Expand(all)
 }
 
+// FindParetoImprovementParallel is the orbit-aware FindParetoImprovement
+// sharded over the engine's worker pool by pinned leading canonical digits,
+// with the same depth rule as EnumerateNEParallel. Every shard returns its
+// lexicographically first dominating orbit's witness (or nil); the overall
+// result is the witness of the lowest-numbered non-empty shard. Shards
+// with lower indices hold lexicographically smaller representatives, so
+// that witness is exactly the serial search's — byte-identical at any
+// worker count. workers < 1 means runtime.NumCPU().
+func FindParetoImprovementParallel(g *Game, a *Alloc, eps float64, maxProfiles int64, workers int) (*Alloc, error) {
+	if err := g.CheckAlloc(a); err != nil {
+		return nil, err
+	}
+	rows, err := strategyRows(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkProfileCap(g.Users(), int64(len(rows)), maxProfiles); err != nil {
+		return nil, err
+	}
+	base := g.Utilities(a)
+	pool := workers
+	if pool < 1 {
+		pool = runtime.NumCPU()
+	}
+	depth := 1
+	if g.Users() >= 2 && len(rows) < 2*pool {
+		depth = 2
+	}
+	shardCount := len(rows)
+	if depth == 2 {
+		shardCount = len(rows) * len(rows)
+	}
+	oe := g.orbitEnumerator(rows)
+	shards, _, err := engine.Map(shardCount, func(job int, _ *des.RNG) (*Alloc, error) {
+		digits := make([]int, depth)
+		digits[0] = job
+		if depth == 2 {
+			digits[0], digits[1] = job/len(rows), job%len(rows)
+		}
+		w, err := oe.ParetoImprovementShard(digits, base, eps)
+		if err != nil {
+			return nil, fmt.Errorf("core: pareto shard %d: %w", job, err)
+		}
+		return w, nil
+	}, engine.Workers(workers))
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range shards {
+		if w != nil {
+			return w, nil
+		}
+	}
+	return nil, nil
+}
+
 // forEachRest walks the cartesian product of strategy rows for users
 // pinned..N-1 on top of a (users 0..pinned-1 already set), calling fn with
 // the reused allocation, which fn must treat as read-only. Matches the

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"github.com/multiradio/chanalloc/internal/ratefn"
 )
 
@@ -179,25 +177,33 @@ func (rv *RateView) MovedRowValue(a *Alloc, i, from, to int) float64 {
 	return val
 }
 
-// Workspace holds the reusable scratch of the best-response dynamic
-// program: the per-channel value rows v, the suffix-value slab f, the
-// choice slab for backtracking, and external-load and strategy-row buffers.
-// All slabs are flat single allocations, grown on demand and reused across
-// calls, so the *Into / *With entry points run with zero steady-state
-// allocations. It also hosts the incremental screen cache used by the
-// canonical enumeration walks (see ResetScreenCache).
+// Workspace holds the reusable scratch of the allocation-free kernels: the
+// best-response DP's per-channel value rows v and suffix-value slab f, the
+// welfare DP's rate/suffix/load slabs, external-load, strategy-row and
+// per-user utility buffers. All slabs are flat single allocations, grown on
+// demand and reused across calls, so the *Into / *With entry points run
+// with zero steady-state allocations. It also hosts the incremental screen
+// cache used by the canonical enumeration walks (see ResetScreenCache).
 //
 // A Workspace is not safe for concurrent use: hold one per goroutine
 // (engine workers, dynamics runs, enumeration shards each own one).
 type Workspace struct {
-	v      []float64 // C rows of stride capK+1: v[c][x]
-	f      []float64 // C+1 rows of stride capK+1: f[c][b]
-	choice []int     // C rows of stride capK+1: choice[c][b]
-	ext    []int     // external loads, len capC
-	row    []int     // result strategy row, len capC
-	marks  []bool    // per-user oracle bookkeeping, see userMarks
-	capC   int
-	capK   int
+	v     []float64 // C rows of stride capK+1: v[c][x]
+	f     []float64 // C+1 rows of stride capK+1: f[c][b]
+	ext   []int     // external loads, len capC
+	row   []int     // result strategy row, len capC
+	marks []bool    // per-user oracle bookkeeping, see userMarks
+	utils []float64 // per-user utility buffer, see Utils
+	capC  int
+	capK  int
+
+	// Welfare DP slabs (OptimalLoadWelfareInto): the precomputed rate row
+	// R(0..T), the C rows of suffix values with stride T+1, and the result
+	// load vector. Sized independently of the best-response slabs because
+	// the welfare domain is totals, not budgets.
+	wrate []float64
+	wf    []float64
+	wload []int
 
 	// Incremental screen cache (ScreenedNEIncremental). A walker that
 	// mutates one row at a time calls ScreenStep once per profile, then
@@ -295,9 +301,45 @@ func (ws *Workspace) ensure(C, k int) {
 	stride := ws.capK + 1
 	ws.v = make([]float64, ws.capC*stride)
 	ws.f = make([]float64, (ws.capC+1)*stride)
-	ws.choice = make([]int, ws.capC*stride)
 	ws.ext = make([]int, ws.capC)
 	ws.row = make([]int, ws.capC)
+}
+
+// Utils returns an n-length float64 scratch slice reused across calls: the
+// backing store of UtilitiesInto and the orbit Pareto matcher's per-profile
+// utility vectors. Contents are unspecified on entry.
+func (ws *Workspace) Utils(n int) []float64 {
+	if cap(ws.utils) < n {
+		ws.utils = make([]float64, n)
+	}
+	return ws.utils[:n]
+}
+
+// ensureWelfare sizes the welfare-DP slabs for C channels placing total
+// radios, returning the rate row R(0..total) (uninitialised), the C-row
+// suffix slab of stride total+1, and the C-length load buffer.
+func (ws *Workspace) ensureWelfare(C, total int) (rates, f []float64, loads []int) {
+	if n := total + 1; cap(ws.wrate) < n {
+		ws.wrate = make([]float64, n)
+	}
+	if n := C * (total + 1); cap(ws.wf) < n {
+		ws.wf = make([]float64, n)
+	}
+	if cap(ws.wload) < C {
+		ws.wload = make([]int, C)
+	}
+	return ws.wrate[:total+1], ws.wf[:C*(total+1)], ws.wload[:C]
+}
+
+// UtilitiesInto computes every user's utility into the workspace's
+// reusable buffer — the allocation-free form of the games' Utilities. The
+// returned slice aliases ws and is valid until its next Utils use.
+func (rv *RateView) UtilitiesInto(ws *Workspace, a *Alloc) []float64 {
+	out := ws.Utils(a.Users())
+	for i := range out {
+		out[i] = rv.UtilityOf(a, i)
+	}
+	return out
 }
 
 // fillShares populates the workspace's v rows for the given external loads
@@ -336,6 +378,16 @@ func fillSharesFunc(ws *Workspace, rate ratefn.Func, ext []int, k int) {
 // bestResponseDP runs the suffix dynamic program over the filled v rows and
 // backtracks one optimal row. The returned slice aliases the workspace and
 // is valid until the next call using it.
+//
+// The forward pass is a pure max-reduction: for each (c, b) it folds
+// vrow[x] + next[b-x] over x with no choice bookkeeping inside the O(C·k²)
+// hot loop — the accumulator stays in a register and the loop body is two
+// contiguous loads, an add and a compare, the shape gc's auto-vectoriser
+// and the CPU's out-of-order core both like. The optimal row is recovered
+// afterwards by an O(C·k) traceback that rescans each chosen cell for the
+// first x attaining its value; all candidates are <= the cell value and the
+// old strict-> scan kept the first argmax, so "first x with equality" picks
+// the same x and rows are bit-identical to the former choice-slab form.
 func bestResponseDP(ws *Workspace, C, k int) ([]int, float64) {
 	stride := ws.capK + 1
 	fC := ws.f[C*stride : C*stride+k+1]
@@ -343,26 +395,33 @@ func bestResponseDP(ws *Workspace, C, k int) ([]int, float64) {
 		fC[b] = 0
 	}
 	for c := C - 1; c >= 0; c-- {
-		vrow := ws.v[c*stride:]
+		vrow := ws.v[c*stride : c*stride+k+1]
 		next := ws.f[(c+1)*stride:]
 		cur := ws.f[c*stride:]
-		ch := ws.choice[c*stride:]
 		for b := 0; b <= k; b++ {
-			best, bestX := math.Inf(-1), 0
-			for x := 0; x <= b; x++ {
+			best := vrow[0] + next[b]
+			for x := 1; x <= b; x++ {
 				if val := vrow[x] + next[b-x]; val > best {
-					best, bestX = val, x
+					best = val
 				}
 			}
 			cur[b] = best
-			ch[b] = bestX
 		}
 	}
 	row := ws.row[:C]
 	b := k
 	for c := 0; c < C; c++ {
-		row[c] = ws.choice[c*stride+b]
-		b -= row[c]
+		vrow := ws.v[c*stride:]
+		next := ws.f[(c+1)*stride:]
+		target := ws.f[c*stride+b]
+		x := 0
+		for ; x < b; x++ {
+			if vrow[x]+next[b-x] == target {
+				break
+			}
+		}
+		row[c] = x
+		b -= x
 	}
 	return row, ws.f[k]
 }

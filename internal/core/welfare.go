@@ -12,10 +12,11 @@ import (
 // Σ_{c : l_c > 0} R(l_c) over load vectors that place all |N|·k radios
 // (Lemma 1 forces full deployment in equilibrium, so this is the natural
 // welfare benchmark for NE comparisons). It returns the optimum and one
-// optimising load vector. The DP reads the game's frozen rate view, so the
-// O(|C|·T²) inner loop costs table lookups rather than interface calls.
+// optimising load vector (a fresh copy). The DP runs once per game and is
+// memoised (see Game.allPlacedOptimum); repeated calls are a memo read.
 func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
-	return OptimalLoadWelfare(g.view.Frozen(), g.Channels(), g.Users()*g.Radios())
+	opt, loads := g.allPlacedOptimum()
+	return opt, append([]int(nil), loads...)
 }
 
 // OptimalLoadWelfare maximises Σ_{c : l_c > 0} R(l_c) over load vectors on
@@ -24,45 +25,82 @@ func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
 // this dynamic program (total = |N|·k and Σ_i k_i respectively). It returns
 // the optimum and one optimising load vector.
 //
-// The optimisation is a dynamic program over channels and remaining radios:
-// O(|C| · T²) for T total radios.
+// One-shot convenience form of OptimalLoadWelfareInto: a fresh workspace
+// and copied loads. Hot loops hold a Workspace and call the Into form.
 func OptimalLoadWelfare(rate ratefn.Func, C, total int) (float64, []int) {
-	// f[c][t] = best welfare over channels c..C-1 placing exactly t radios.
-	negInf := math.Inf(-1)
-	f := make([][]float64, C+1)
-	choice := make([][]int, C)
-	for c := range f {
-		f[c] = make([]float64, total+1)
+	val, loads := OptimalLoadWelfareInto(NewWorkspace(), rate, C, total)
+	return val, append(make([]int, 0, len(loads)), loads...)
+}
+
+// OptimalLoadWelfareInto is the welfare dynamic program in the caller's
+// workspace: O(|C| · T²) for T total radios, zero steady-state allocations,
+// returned loads aliasing ws (copy to retain past the next welfare call).
+//
+// The recurrence f[c][t] = max_l R(l) + f[c+1][t-l] runs over flat
+// contiguous slabs with the -Inf "leftover radios" sentinel hoisted out
+// entirely: the base row C-1 must place everything it is given (only l = t
+// leaves no leftovers), so f[C-1][t] = R(t) and every remaining row folds
+// purely finite values — the inner loop is a branch-reduced max over two
+// contiguous slices, with rates pre-sampled once into a slab. Values and
+// argmax loads are bit-identical to the former per-row form: an O(|C|·T)
+// traceback rescans each chosen cell for the first l attaining its value,
+// which is exactly the argmax the old strict-> scan recorded.
+//
+// Degenerate domains are decided up front (the old per-row allocation
+// could index an empty choice row): zero channels place nothing — welfare
+// 0 for total == 0, -Inf (infeasible) otherwise — and a negative total is
+// -Inf with an all-zero load vector.
+func OptimalLoadWelfareInto(ws *Workspace, rate ratefn.Func, C, total int) (float64, []int) {
+	if ws == nil {
+		ws = NewWorkspace()
 	}
-	for t := 1; t <= total; t++ {
-		f[C][t] = negInf // leftover radios are not allowed
+	if C <= 0 {
+		if total == 0 {
+			return 0, ws.wload[:0]
+		}
+		return math.Inf(-1), ws.wload[:0]
 	}
-	for c := C - 1; c >= 0; c-- {
-		choice[c] = make([]int, total+1)
+	if total < 0 {
+		_, _, loads := ws.ensureWelfare(C, 0)
+		for c := range loads {
+			loads[c] = 0
+		}
+		return math.Inf(-1), loads
+	}
+	rates, f, loads := ws.ensureWelfare(C, total)
+	for l := 0; l <= total; l++ {
+		rates[l] = rate.Rate(l)
+	}
+	stride := total + 1
+	copy(f[(C-1)*stride:C*stride], rates)
+	for c := C - 2; c >= 0; c-- {
+		cur := f[c*stride : c*stride+stride]
+		next := f[(c+1)*stride : (c+1)*stride+stride]
 		for t := 0; t <= total; t++ {
-			best, bestL := negInf, 0
-			for l := 0; l <= t; l++ {
-				tail := f[c+1][t-l]
-				if tail == negInf {
-					continue
-				}
-				val := rate.Rate(l) + tail
-				if val > best {
-					best, bestL = val, l
+			best := rates[0] + next[t]
+			for l := 1; l <= t; l++ {
+				if val := rates[l] + next[t-l]; val > best {
+					best = val
 				}
 			}
-			f[c][t] = best
-			choice[c][t] = bestL
+			cur[t] = best
 		}
 	}
-
-	loads := make([]int, C)
 	t := total
-	for c := 0; c < C; c++ {
-		loads[c] = choice[c][t]
-		t -= loads[c]
+	for c := 0; c < C-1; c++ {
+		next := f[(c+1)*stride:]
+		target := f[c*stride+t]
+		l := 0
+		for ; l < t; l++ {
+			if rates[l]+next[t-l] == target {
+				break
+			}
+		}
+		loads[c] = l
+		t -= l
 	}
-	return f[0][total], loads
+	loads[C-1] = t
+	return f[total], loads
 }
 
 // OptimalWelfareIdleAllowed computes the maximum total rate when radios may
@@ -82,9 +120,10 @@ func OptimalWelfareIdleAllowed(g *Game) (float64, []int) {
 
 // PriceOfAnarchy returns welfare(a) / optimalWelfare for the all-placed
 // benchmark. 1 means the allocation is system-optimal. Returns an error if
-// the optimum is non-positive (degenerate rate function).
+// the optimum is non-positive (degenerate rate function). The optimum is
+// the game's memo, so per-allocation cost is one O(|C|) welfare fold.
 func PriceOfAnarchy(g *Game, a *Alloc) (float64, error) {
-	opt, _ := OptimalWelfareAllPlaced(g)
+	opt, _ := g.allPlacedOptimum()
 	if opt <= 0 {
 		return 0, fmt.Errorf("core: degenerate optimum %v; rate function is zero everywhere", opt)
 	}
@@ -230,12 +269,42 @@ func EnumerateNE(g *Game, maxProfiles int64) ([]*Alloc, error) {
 	return ExpandNEOrbits(g, reps)
 }
 
-// FindParetoImprovement exhaustively searches for an allocation that makes
-// every user at least as well off as in a and at least one user strictly
-// better (within tolerance eps on strict improvement). It returns nil if a
-// is Pareto-optimal over the full strategy space. Exponential; guarded by
-// maxProfiles.
+// FindParetoImprovement searches for an allocation that makes every user
+// at least as well off as in a and at least one user strictly better
+// (within tolerance eps on both comparisons, exactly as the unreduced
+// scan: hurt iff u < base-eps, strict iff u > base+eps). It returns nil if
+// a is Pareto-optimal over the full strategy space. Exponential; guarded
+// by maxProfiles against the FULL unreduced profile count, so refusal
+// behaviour matches ForEachAlloc.
+//
+// The search is symmetry-reduced: equal-budget users are exchangeable, so
+// only canonical orbit representatives are visited and each whole orbit is
+// decided by one per-class utility matching test (see
+// OrbitEnumerator.ParetoImprovement). An improvement is found iff the
+// unreduced search finds one; the returned witness — the representative
+// with its rows permuted along the matching — is always a valid
+// improvement, though not necessarily the same orbit member the unreduced
+// scan would hit first. FindParetoImprovementUnreduced keeps the direct
+// grid walk as the differential baseline.
 func FindParetoImprovement(g *Game, a *Alloc, eps float64, maxProfiles int64) (*Alloc, error) {
+	if err := g.CheckAlloc(a); err != nil {
+		return nil, err
+	}
+	rows, err := strategyRows(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkProfileCap(g.Users(), int64(len(rows)), maxProfiles); err != nil {
+		return nil, err
+	}
+	return g.orbitEnumerator(rows).ParetoImprovement(g.Utilities(a), eps)
+}
+
+// FindParetoImprovementUnreduced is the direct R^N-grid Pareto search:
+// every profile is tested user by user, bailing on the first hurt user.
+// Kept as the differential baseline and benchmark denominator for the
+// orbit-aware FindParetoImprovement.
+func FindParetoImprovementUnreduced(g *Game, a *Alloc, eps float64, maxProfiles int64) (*Alloc, error) {
 	if err := g.CheckAlloc(a); err != nil {
 		return nil, err
 	}

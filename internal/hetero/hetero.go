@@ -14,6 +14,7 @@ package hetero
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/multiradio/chanalloc/internal/combin"
 	"github.com/multiradio/chanalloc/internal/core"
@@ -31,6 +32,12 @@ type Game struct {
 	budgets  []int
 	rate     ratefn.Func
 	view     *core.RateView
+
+	// All-placed welfare optimum, memoised on first use exactly like
+	// core.Game's (written once under optOnce, read lock-free after).
+	optOnce  sync.Once
+	optVal   float64
+	optLoads []int
 }
 
 // NewGame validates budgets (1 <= k_i <= channels) and builds a game.
@@ -123,6 +130,12 @@ func (g *Game) Utilities(a *core.Alloc) []float64 {
 		out[i] = g.Utility(a, i)
 	}
 	return out
+}
+
+// UtilitiesInto is Utilities into the workspace's reusable buffer: zero
+// steady-state allocations; the returned slice aliases ws.
+func (g *Game) UtilitiesInto(ws *core.Workspace, a *core.Alloc) []float64 {
+	return g.view.UtilitiesInto(ws, a)
 }
 
 // Welfare computes Σ_{c : k_c > 0} R(k_c) = Σ_i U_i.
@@ -238,18 +251,32 @@ func Algorithm1(g *Game, tie core.TieBreak, seed uint64) (*core.Alloc, error) {
 	return a, nil
 }
 
+// allPlacedOptimum computes the all-placed welfare optimum once per game
+// and serves the memo afterwards. The returned slice is the memo itself —
+// callers must not mutate it (OptimalWelfareAllPlaced copies).
+func (g *Game) allPlacedOptimum() (float64, []int) {
+	g.optOnce.Do(func() {
+		total := 0
+		for _, k := range g.budgets {
+			total += k
+		}
+		val, loads := core.OptimalLoadWelfareInto(core.NewWorkspace(), g.view.Frozen(), g.channels, total)
+		g.optVal = val
+		g.optLoads = append([]int(nil), loads...)
+	})
+	return g.optVal, g.optLoads
+}
+
 // OptimalWelfareAllPlaced computes the maximum achievable total rate over
 // load vectors that place all Σ_i k_i radios — the heterogeneous analogue
 // of the uniform-budget all-placed welfare benchmark (full deployment
 // remains necessary for NE under positive constant rates, so this is the
 // natural denominator for a heterogeneous price of anarchy). It returns the
-// optimum and one optimising load vector.
+// optimum and one optimising load vector (a fresh copy); the DP runs once
+// per game and is memoised.
 func OptimalWelfareAllPlaced(g *Game) (float64, []int) {
-	total := 0
-	for _, k := range g.budgets {
-		total += k
-	}
-	return core.OptimalLoadWelfare(g.view.Frozen(), g.channels, total)
+	opt, loads := g.allPlacedOptimum()
+	return opt, append([]int(nil), loads...)
 }
 
 // OptimalWelfareIdleAllowed computes the maximum total rate when radios may
@@ -275,7 +302,7 @@ func OptimalWelfareIdleAllowed(g *Game) (float64, []int) {
 // allocation is system-optimal among full deployments. Errors on a
 // degenerate (non-positive) optimum.
 func PriceOfAnarchy(g *Game, a *core.Alloc) (float64, error) {
-	opt, _ := OptimalWelfareAllPlaced(g)
+	opt, _ := g.allPlacedOptimum()
 	if opt <= 0 {
 		return 0, fmt.Errorf("hetero: degenerate optimum %v; rate function is zero everywhere", opt)
 	}
@@ -419,4 +446,57 @@ func EnumerateNE(g *Game, maxProfiles int64) ([]*core.Alloc, error) {
 		return nil, err
 	}
 	return ExpandNEOrbits(g, reps)
+}
+
+// FindParetoImprovement searches for an allocation dominating a (nobody
+// hurt beyond eps, somebody strictly better than eps) and returns nil when
+// a is Pareto-optimal over the full strategy space. Like the uniform-game
+// search it is symmetry-reduced over budget classes: canonical orbit
+// representatives are walked and each orbit decided by one per-class
+// utility matching test (see core.OrbitEnumerator.ParetoImprovement). The
+// profile cap guards the full unreduced space.
+func FindParetoImprovement(g *Game, a *core.Alloc, eps float64, maxProfiles int64) (*core.Alloc, error) {
+	if err := g.CheckAlloc(a); err != nil {
+		return nil, err
+	}
+	rowsPerUser, err := strategyRowsPerUser(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkProfileCap(rowsPerUser, maxProfiles); err != nil {
+		return nil, err
+	}
+	return g.orbitEnumerator(rowsPerUser).ParetoImprovement(g.Utilities(a), eps)
+}
+
+// FindParetoImprovementUnreduced is the direct grid Pareto search over
+// every profile, bailing on the first hurt user — the differential
+// baseline for the orbit-aware FindParetoImprovement.
+func FindParetoImprovementUnreduced(g *Game, a *core.Alloc, eps float64, maxProfiles int64) (*core.Alloc, error) {
+	if err := g.CheckAlloc(a); err != nil {
+		return nil, err
+	}
+	base := g.Utilities(a)
+	var found *core.Alloc
+	err := ForEachAlloc(g, maxProfiles, func(b *core.Alloc) bool {
+		strict := false
+		for i := range base {
+			u := g.view.UtilityOf(b, i)
+			if u < base[i]-eps {
+				return true // someone is hurt; keep searching
+			}
+			if u > base[i]+eps {
+				strict = true
+			}
+		}
+		if strict {
+			found = b.Clone()
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return found, nil
 }

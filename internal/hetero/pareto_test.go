@@ -1,0 +1,129 @@
+package hetero
+
+import (
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+func paretoRates(t *testing.T) []ratefn.Func {
+	t.Helper()
+	table, err := ratefn.NewTable("meas", []float64{5, 5, 3.5, 2.25, 2.25, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ratefn.Func{
+		ratefn.NewTDMA(1),
+		ratefn.Harmonic{R0: 2, Alpha: 0.6},
+		table,
+	}
+}
+
+// TestHeteroParetoOrbitAgreesWithUnreduced cross-checks the orbit-aware
+// Pareto search against the direct grid walk on every profile of small
+// mixed-budget games, including a deployment whose exchangeability class is
+// non-contiguous (budgets [2 1 2]: users 0 and 2 share a class around
+// user 1).
+func TestHeteroParetoOrbitAgreesWithUnreduced(t *testing.T) {
+	cases := []struct {
+		channels int
+		budgets  []int
+	}{
+		{2, []int{1, 2}},
+		{2, []int{1, 1, 2}},
+		{3, []int{2, 1, 2}},
+	}
+	for _, rate := range paretoRates(t) {
+		for _, tc := range cases {
+			g, err := NewGame(tc.channels, tc.budgets, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bases []*core.Alloc
+			if err := ForEachAlloc(g, 5_000_000, func(b *core.Alloc) bool {
+				bases = append(bases, b.Clone())
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range bases {
+				want, err := FindParetoImprovementUnreduced(g, a, core.DefaultEps, 5_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := FindParetoImprovement(g, a, core.DefaultEps, 5_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if (want == nil) != (got == nil) {
+					t.Fatalf("%s %v/%d: orbit search found %v, unreduced found %v for base\n%v",
+						rate.Name(), tc.budgets, tc.channels, got != nil, want != nil, a)
+				}
+				if got == nil {
+					continue
+				}
+				if err := g.CheckAlloc(got); err != nil {
+					t.Fatalf("%s %v/%d: witness is not a legal allocation: %v",
+						rate.Name(), tc.budgets, tc.channels, err)
+				}
+				base := g.Utilities(a)
+				strict := false
+				for i := range base {
+					u := g.Utility(got, i)
+					if u < base[i]-core.DefaultEps {
+						t.Fatalf("%s %v/%d: witness hurts user %d: %v < %v\n%v",
+							rate.Name(), tc.budgets, tc.channels, i, u, base[i], got)
+					}
+					if u > base[i]+core.DefaultEps {
+						strict = true
+					}
+				}
+				if !strict {
+					t.Fatalf("%s %v/%d: witness improves nobody strictly\n%v",
+						rate.Name(), tc.budgets, tc.channels, got)
+				}
+			}
+		}
+	}
+}
+
+// TestHeteroWelfareMemo: the heterogeneous game memoises its all-placed
+// optimum like the uniform game — the returned loads are copies and the
+// price of anarchy is stable under repetition.
+func TestHeteroWelfareMemo(t *testing.T) {
+	g, err := NewGame(3, []int{2, 1, 2}, ratefn.Harmonic{R0: 1, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVal, wantLoads := core.OptimalLoadWelfare(g.View().Frozen(), g.Channels(), 5)
+	opt1, loads1 := OptimalWelfareAllPlaced(g)
+	if opt1 != wantVal {
+		t.Fatalf("memoised optimum %v, direct DP %v", opt1, wantVal)
+	}
+	loads1[0] = 99
+	opt2, loads2 := OptimalWelfareAllPlaced(g)
+	if opt2 != wantVal {
+		t.Fatalf("second call optimum %v, want %v", opt2, wantVal)
+	}
+	for c := range wantLoads {
+		if loads2[c] != wantLoads[c] {
+			t.Fatalf("memo loads corrupted: %v, want %v", loads2, wantLoads)
+		}
+	}
+	ne, err := Algorithm1(g, core.TieFirst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := PriceOfAnarchy(g, ne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := PriceOfAnarchy(g, ne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("PoA changed between calls: %v then %v", first, again)
+	}
+}
