@@ -18,6 +18,7 @@
 package chanalloc_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -689,5 +690,122 @@ func BenchmarkDistPolicy(b *testing.B) {
 		if len(row) != len(ext) {
 			b.Fatal("bad row")
 		}
+	}
+}
+
+// BenchmarkRequilibrate replays a seeded 200-event churn trace through the
+// live game, re-equilibrating after every event. The warm variant carries
+// quiet verdicts across events (the allocd service path); the cold variant
+// voids them before each run, measuring the same trajectory with a full
+// sweep. Both end at bit-identical allocations — the committed metric is
+// the best-response DP invocations per churn event.
+func BenchmarkRequilibrate(b *testing.B) {
+	spec := chanalloc.DefaultChurnSpec(4, 6, 200, 7)
+	trace, err := chanalloc.GenerateChurnTrace(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rate := chanalloc.TDMA(54)
+	replay := func(b *testing.B, warm bool) {
+		b.Helper()
+		b.ReportAllocs()
+		var dpCalls, skipped float64
+		for i := 0; i < b.N; i++ {
+			lg, err := chanalloc.NewLiveGame(spec.Channels, rate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ws := chanalloc.BorrowWorkspace()
+			for _, req := range trace {
+				switch req.Op {
+				case "join":
+					_, err = lg.Join(req.Budget)
+				case "leave":
+					err = lg.Leave(chanalloc.UserID(req.ID))
+				case "budget":
+					err = lg.SetBudget(chanalloc.UserID(req.ID), req.Budget)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !warm {
+					lg.MarkEquilibrated(false)
+				}
+				res, err := chanalloc.Requilibrate(lg, chanalloc.WithDynamicsWorkspace(ws))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatal("did not converge")
+				}
+				dpCalls += float64(res.DPCalls)
+				skipped += float64(res.WarmSkipped)
+			}
+			chanalloc.ReturnWorkspace(ws)
+		}
+		events := float64(b.N * len(trace))
+		b.ReportMetric(dpCalls/events, "dp/event")
+		b.ReportMetric(skipped/events, "skip/event")
+	}
+	b.Run("warm", func(b *testing.B) { replay(b, true) })
+	b.Run("cold", func(b *testing.B) { replay(b, false) })
+}
+
+// BenchmarkLiveServerChurn measures the full allocd service path — frame
+// decode, mutation, warm re-equilibration, verification, frame encode —
+// per churn event over an in-memory transport.
+func BenchmarkLiveServerChurn(b *testing.B) {
+	spec := chanalloc.DefaultChurnSpec(4, 6, 100, 7)
+	trace, err := chanalloc.GenerateChurnTrace(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	for _, req := range trace {
+		if err := enc.Encode(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rate := chanalloc.TDMA(54)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := chanalloc.NewLiveServer(chanalloc.LiveConfig{
+			Channels: spec.Channels, Rate: rate, RateName: "tdma:54",
+			Workers: 1, Verify: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := chanalloc.ServeLive(srv, bytes.NewReader(in.Bytes()), &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(trace)), "ns/event")
+}
+
+// BenchmarkPooledWorkspaceBestResponse measures the shared-pool borrow /
+// DP / return cycle the engine shards and the live server run in steady
+// state; the zero-allocation property is pinned by a test
+// (TestWorkspacePoolSteadyStateAllocs), this benchmark reports it.
+func BenchmarkPooledWorkspaceBestResponse(b *testing.B) {
+	g := benchGame(b, 16, 12, 6, chanalloc.TDMA(1))
+	a := chanalloc.RandomAlloc(g, 1)
+	// Warm the pool to the game's dimensions.
+	ws := chanalloc.BorrowWorkspace()
+	if _, _, err := g.BestResponseInto(ws, a, 0); err != nil {
+		b.Fatal(err)
+	}
+	chanalloc.ReturnWorkspace(ws)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws := chanalloc.BorrowWorkspace()
+		if _, _, err := g.BestResponseInto(ws, a, i%g.Users()); err != nil {
+			b.Fatal(err)
+		}
+		chanalloc.ReturnWorkspace(ws)
 	}
 }

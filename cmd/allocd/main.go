@@ -1,0 +1,183 @@
+// Command allocd is the live channel-allocation service: a long-lived
+// process that maintains a mutable allocation game (users join, leave and
+// renegotiate radio budgets) and answers every churn event with a
+// warm-started re-equilibration — the new allocation plus convergence
+// statistics — over newline-delimited JSON.
+//
+// Modes:
+//
+//	-mode serve   speak the protocol on stdin/stdout, or accept TCP
+//	              connections when -listen is set (each connection gets
+//	              its own fresh game)
+//	-mode churn   generate the -churn trace and serve it in-process,
+//	              writing the transcript to stdout: the byte-identical
+//	              offline form of serving the same trace over a socket
+//	-mode trace   print the generated -churn trace itself (client replay
+//	              input) to stdout
+//
+// The churn spec is "channels,initial,events[,seed]" (see
+// live.ParseChurnSpec); in churn and trace modes it also fixes the channel
+// count. Rate functions use the same grammar as cmd/chanalloc
+// (chanalloc.ParseRate). Output bytes never depend on -workers: the
+// worker pool only parallelises Nash-equilibrium verification, an
+// AND-reduce over per-user verdicts.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"github.com/multiradio/chanalloc"
+	"github.com/multiradio/chanalloc/internal/live"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "allocd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("allocd", flag.ContinueOnError)
+	var (
+		mode      = fs.String("mode", "serve", "serve | churn | trace")
+		channels  = fs.Int("channels", 4, "channel count (serve mode; churn spec overrides)")
+		rateSpec  = fs.String("rate", "tdma:54", "rate function (chanalloc grammar)")
+		workers   = fs.Int("workers", 0, "verification workers; <1 means NumCPU")
+		eps       = fs.Float64("eps", 0, "dynamics tolerance; 0 keeps the default")
+		maxRounds = fs.Int("max-rounds", 0, "round cap; 0 keeps the default")
+		verify    = fs.Bool("verify", true, "re-prove every settled allocation with the exact NE oracle")
+		listen    = fs.String("listen", "", "TCP listen address (serve mode); empty means stdin/stdout")
+		churnSpec = fs.String("churn", "4,6,200,1", "churn spec channels,initial,events[,seed] (churn/trace modes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rate, err := chanalloc.ParseRate(*rateSpec)
+	if err != nil {
+		return err
+	}
+	cfg := live.Config{
+		Channels:  *channels,
+		Rate:      rate,
+		RateName:  *rateSpec,
+		Workers:   *workers,
+		Verify:    *verify,
+		Eps:       *eps,
+		MaxRounds: *maxRounds,
+	}
+
+	switch *mode {
+	case "serve":
+		if *listen == "" {
+			srv, err := live.NewServer(cfg)
+			if err != nil {
+				return err
+			}
+			return srv.Serve(os.Stdin, stdout)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintln(os.Stderr, "allocd: listening on", ln.Addr())
+		return serveListener(ln, cfg)
+	case "churn":
+		spec, err := live.ParseChurnSpec(*churnSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Channels = spec.Channels
+		out, err := serveTrace(cfg, spec)
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(out)
+		return err
+	case "trace":
+		spec, err := live.ParseChurnSpec(*churnSpec)
+		if err != nil {
+			return err
+		}
+		trace, err := live.GenerateTrace(spec)
+		if err != nil {
+			return err
+		}
+		out, err := encodeTrace(trace)
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(out)
+		return err
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// serveListener accepts connections until the listener closes; every
+// connection converses with its own fresh game. Connections are served
+// sequentially — the service is a deterministic reference implementation,
+// not a connection-scale daemon.
+func serveListener(ln net.Listener, cfg live.Config) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		srv, err := live.NewServer(cfg)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if err := srv.Serve(conn, conn); err != nil {
+			fmt.Fprintln(os.Stderr, "allocd: connection:", err)
+		}
+		conn.Close()
+	}
+}
+
+// serveTrace runs a generated trace through an in-process server and
+// returns the transcript — the same bytes a remote client would read.
+func serveTrace(cfg live.Config, spec live.ChurnSpec) ([]byte, error) {
+	trace, err := live.GenerateTrace(spec)
+	if err != nil {
+		return nil, err
+	}
+	in, err := encodeTrace(append(trace, live.Request{Op: "stats"}, live.Request{Op: "bye"}))
+	if err != nil {
+		return nil, err
+	}
+	srv, err := live.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	if err := srv.Serve(bytes.NewReader(in), &out); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// encodeTrace renders requests as NDJSON client input.
+func encodeTrace(trace []live.Request) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, req := range trace {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/multiradio/chanalloc"
+	"github.com/multiradio/chanalloc/internal/live"
+)
+
+const goldenSpec = "4,6,200,7"
+
+func goldenBytes(t *testing.T) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "churn_4c_200ev_seed7.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestChurnModeMatchesGolden replays the committed 200-event seeded trace
+// in-process and pins the full transcript byte-for-byte, at several worker
+// counts. A diff here is a protocol or determinism regression.
+func TestChurnModeMatchesGolden(t *testing.T) {
+	want := goldenBytes(t)
+	for _, workers := range []int{1, 4} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-mode", "churn", "-churn", goldenSpec, "-rate", "tdma:54",
+			"-workers", map[int]string{1: "1", 4: "4"}[workers],
+		}, &out)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Fatalf("workers=%d: transcript diverged from golden (%d vs %d bytes)",
+				workers, out.Len(), len(want))
+		}
+	}
+}
+
+// TestLoopbackServe is the end-to-end smoke test: a real TCP loopback
+// conversation streaming the seeded trace must produce the same bytes as
+// the in-process churn mode — the transport is invisible.
+func TestLoopbackServe(t *testing.T) {
+	spec, err := live.ParseChurnSpec(goldenSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := live.GenerateTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := encodeTrace(append(trace, live.Request{Op: "stats"}, live.Request{Op: "bye"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rate, err := chanalloc.ParseRate("tdma:54")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serveListener(ln, live.Config{
+			Channels: spec.Channels,
+			Rate:     rate,
+			RateName: "tdma:54",
+			Workers:  2,
+			Verify:   true,
+		})
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	writeErr := make(chan error, 1)
+	go func() {
+		_, err := conn.Write(in)
+		writeErr <- err
+	}()
+
+	var transcript bytes.Buffer
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		transcript.Write(sc.Bytes())
+		transcript.WriteByte('\n')
+		if bytes.Equal(sc.Bytes(), []byte(`{"type":"bye"}`)) {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(transcript.Bytes(), goldenBytes(t)) {
+		t.Fatalf("loopback transcript diverged from golden (%d vs %d bytes)",
+			transcript.Len(), len(goldenBytes(t)))
+	}
+	// The accept loop only returns on listener close.
+	ln.Close()
+	<-serveErr
+}
+
+// TestTraceMode pins that trace mode emits the replay input churn mode
+// consumes: exactly the spec's events, deterministically.
+func TestTraceMode(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-mode", "trace", "-churn", goldenSpec}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-mode", "trace", "-churn", goldenSpec}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("trace mode is not deterministic")
+	}
+	if lines := bytes.Count(a.Bytes(), []byte("\n")); lines != 200 {
+		t.Fatalf("trace has %d lines, want 200", lines)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "warp"}, &out); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run([]string{"-rate", "quantum:1"}, &out); err == nil {
+		t.Fatal("unknown rate accepted")
+	}
+	if err := run([]string{"-mode", "churn", "-churn", "bogus"}, &out); err == nil {
+		t.Fatal("bad churn spec accepted")
+	}
+}

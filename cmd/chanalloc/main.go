@@ -341,60 +341,10 @@ func familyUsages() []string {
 }
 
 // ParseRate parses a rate-function specification; see the package comment
-// for the grammar.
+// for the grammar. The implementation lives in the chanalloc facade so
+// every tool (chanalloc, allocd) accepts the same specs.
 func ParseRate(spec string) (chanalloc.RateFunc, error) {
-	parts := strings.Split(spec, ":")
-	switch parts[0] {
-	case "tdma":
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("rate %q: want tdma:R0", spec)
-		}
-		r0, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil || r0 <= 0 {
-			return nil, fmt.Errorf("rate %q: bad R0", spec)
-		}
-		return chanalloc.TDMA(r0), nil
-	case "harmonic":
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("rate %q: want harmonic:R0:alpha", spec)
-		}
-		r0, err1 := strconv.ParseFloat(parts[1], 64)
-		alpha, err2 := strconv.ParseFloat(parts[2], 64)
-		if err1 != nil || err2 != nil || r0 <= 0 || alpha < 0 {
-			return nil, fmt.Errorf("rate %q: bad parameters", spec)
-		}
-		return chanalloc.HarmonicRate(r0, alpha), nil
-	case "geometric":
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("rate %q: want geometric:R0:beta", spec)
-		}
-		r0, err1 := strconv.ParseFloat(parts[1], 64)
-		beta, err2 := strconv.ParseFloat(parts[2], 64)
-		if err1 != nil || err2 != nil || r0 <= 0 || beta <= 0 || beta > 1 {
-			return nil, fmt.Errorf("rate %q: bad parameters", spec)
-		}
-		return chanalloc.GeometricRate(r0, beta), nil
-	case "csma-practical", "csma-optimal":
-		p := chanalloc.Default80211b()
-		if len(parts) == 2 {
-			switch parts[1] {
-			case "1mbps":
-				p = chanalloc.Bianchi1Mbps()
-			case "80211b":
-				// default
-			default:
-				return nil, fmt.Errorf("rate %q: unknown PHY %q", spec, parts[1])
-			}
-		} else if len(parts) > 2 {
-			return nil, fmt.Errorf("rate %q: want %s[:1mbps|:80211b]", spec, parts[0])
-		}
-		if parts[0] == "csma-practical" {
-			return chanalloc.PracticalCSMA(p)
-		}
-		return chanalloc.OptimalCSMA(p)
-	default:
-		return nil, fmt.Errorf("unknown rate function %q", spec)
-	}
+	return chanalloc.ParseRate(spec)
 }
 
 // readMatrix parses a whitespace-separated integer grid; '-' means stdin.

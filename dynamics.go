@@ -80,3 +80,15 @@ func WithDynamicsEps(eps float64) DynamicsOption { return dynamics.WithEps(eps) 
 
 // WithDynamicsSeed fixes the RNG seed for RandomOrder schedules.
 func WithDynamicsSeed(seed uint64) DynamicsOption { return dynamics.WithSeed(seed) }
+
+// WithDynamicsWorkspace injects a reusable DP workspace into a run; borrow
+// one from the shared pool (core exposes it through the live server and
+// batch runner automatically) to make steady-state convergence runs
+// allocation-free.
+func WithDynamicsWorkspace(ws *Workspace) DynamicsOption { return dynamics.WithWorkspace(ws) }
+
+// RunHeteroBestResponse is RunBestResponse over a heterogeneous-budget
+// game: the identical sweep and quiet caching with per-user radio budgets.
+func RunHeteroBestResponse(g *HeteroGame, start *Alloc, opts ...DynamicsOption) (DynamicsResult, error) {
+	return dynamics.RunBestResponseHetero(g, start, opts...)
+}

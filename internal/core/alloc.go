@@ -165,6 +165,38 @@ func (a *Alloc) Move(i, from, to int) error {
 	return nil
 }
 
+// AppendRow grows the allocation by one all-zero user row and returns the
+// new row's index. Channel loads are unchanged (the new user deploys no
+// radios yet). Together with RemoveRowSwap this is the dense-row mutation
+// surface of the live-game layer: user churn edits the matrix in place
+// instead of rebuilding a fixed-size allocation per event.
+func (a *Alloc) AppendRow() int {
+	a.m = append(a.m, make([]int, a.channels))
+	a.users++
+	return a.users - 1
+}
+
+// RemoveRowSwap deletes user row i in O(|C|): the row's radios are
+// subtracted from the channel loads, the LAST row is moved into slot i, and
+// the matrix shrinks by one. The caller owns the id→row indirection and
+// must remap the moved user (previous index Users()-1, now at i). Removing
+// the last remaining row leaves a zero-user allocation that is only valid
+// as a live-game internal state (NewAlloc never constructs one).
+func (a *Alloc) RemoveRowSwap(i int) error {
+	if i < 0 || i >= a.users {
+		return fmt.Errorf("core: user %d out of range [0, %d)", i, a.users)
+	}
+	for c, v := range a.m[i] {
+		a.load[c] -= v
+	}
+	last := a.users - 1
+	a.m[i] = a.m[last]
+	a.m[last] = nil
+	a.m = a.m[:last]
+	a.users = last
+	return nil
+}
+
 // Clone returns an independent deep copy.
 func (a *Alloc) Clone() *Alloc {
 	clone, err := NewAlloc(a.users, a.channels)

@@ -42,7 +42,7 @@ type CanonicalNE struct {
 type OrbitEnumerator struct {
 	View      *RateView
 	Channels  int
-	Budgets   []int              // per-user radio budgets (exchangeability key)
+	Budgets   []int               // per-user radio budgets (exchangeability key)
 	RowsFor   func(u int) [][]int // user u's strategy rows; shared within a class
 	Eps       float64
 	ErrPrefix string
@@ -287,7 +287,8 @@ func (oe *OrbitEnumerator) enumerate(pinned []int) ([]CanonicalNE, error) {
 			return nil, fmt.Errorf("%s: setting pinned row for user %d: %w", oe.ErrPrefix, u, err)
 		}
 	}
-	ws := NewWorkspace()
+	ws := Workspaces.Get()
+	defer Workspaces.Put(ws)
 	ws.ResetScreenCache(users, oe.Channels)
 	var out []CanonicalNE
 	var innerErr error

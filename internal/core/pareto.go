@@ -256,7 +256,8 @@ func (oe *OrbitEnumerator) paretoSearch(pinned []int, base []float64, eps float6
 		}
 	}
 	pm := newParetoMatcher(classes, base)
-	ws := NewWorkspace()
+	ws := Workspaces.Get()
+	defer Workspaces.Put(ws)
 	view := oe.View
 	var witness *Alloc
 	var innerErr error

@@ -1,0 +1,43 @@
+package core
+
+import "sync"
+
+// WorkspacePool recycles Workspaces across goroutines. The DP slabs inside
+// a Workspace are grown on demand and never shrink, so a recycled workspace
+// usually serves its next borrower without touching the allocator — the
+// steady state of a pool-backed hot path (engine shards, dynamics batches,
+// live-server event handlers) is zero allocations per operation.
+//
+// Get and Put are safe for concurrent use; the Workspace between them is
+// not — each borrower owns it exclusively until Put.
+type WorkspacePool struct {
+	p sync.Pool
+}
+
+// NewWorkspacePool returns an empty pool; workspaces are created on first
+// Get and recycled thereafter.
+func NewWorkspacePool() *WorkspacePool {
+	wp := &WorkspacePool{}
+	wp.p.New = func() any { return NewWorkspace() }
+	return wp
+}
+
+// Get borrows a workspace, creating one if the pool is empty.
+func (wp *WorkspacePool) Get() *Workspace {
+	return wp.p.Get().(*Workspace)
+}
+
+// Put returns a workspace to the pool. The workspace must not be used after
+// Put; nil is ignored. Cached screen state is NOT reset here — every screen
+// consumer calls ResetScreenCache before a walk, and the DP slabs carry no
+// cross-call semantics.
+func (wp *WorkspacePool) Put(ws *Workspace) {
+	if ws != nil {
+		wp.p.Put(ws)
+	}
+}
+
+// Workspaces is the package-level shared pool: callers that would otherwise
+// construct a fresh Workspace per batch, shard or event borrow from here so
+// slab allocations amortise across the process.
+var Workspaces = NewWorkspacePool()

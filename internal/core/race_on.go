@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count pins skip under race: instrumentation defeats
+// sync.Pool caching and charges bookkeeping allocations to the caller.
+const raceEnabled = true

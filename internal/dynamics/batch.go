@@ -90,7 +90,13 @@ func RunBatch(g *core.Game, spec BatchSpec) (*BatchResult, error) {
 
 	runs, stats, err := engine.Map(spec.Replicates, func(r int, rng *des.RNG) (Result, error) {
 		start := RandomAlloc(g, rng.Uint64())
-		opts := append(append([]Option(nil), spec.Opts...), WithSeed(rng.Uint64()))
+		// Borrow a pooled workspace per replicate: steady-state batches
+		// recycle one workspace per worker instead of allocating fresh DP
+		// slabs for every run.
+		ws := core.Workspaces.Get()
+		defer core.Workspaces.Put(ws)
+		opts := append(append([]Option(nil), spec.Opts...),
+			WithSeed(rng.Uint64()), WithWorkspace(ws))
 		switch spec.Process {
 		case BestResponseProcess:
 			return RunBestResponse(g, start, opts...)

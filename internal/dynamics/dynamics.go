@@ -21,6 +21,7 @@ import (
 
 	"github.com/multiradio/chanalloc/internal/core"
 	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/hetero"
 	"github.com/multiradio/chanalloc/internal/ratefn"
 )
 
@@ -55,6 +56,11 @@ type Result struct {
 	Rounds int
 	// Moves counts strategy changes across the run.
 	Moves int
+	// DPCalls counts best-response DP invocations across the run (the
+	// dominant cost of a best-response sweep; radio-greedy runs report 0).
+	// Warm-started re-equilibration exists to shrink this number — see
+	// Requilibrate.
+	DPCalls int
 	// Final is the terminal allocation (aliases the evolved copy, not the
 	// caller's input).
 	Final *core.Alloc
@@ -63,12 +69,35 @@ type Result struct {
 	PotentialTrace []float64
 }
 
+// Game is the interface the sweeps drive: utilities, the workspace-backed
+// best-response DP and the congestion potential. Both *core.Game (uniform
+// budgets) and *hetero.Game (per-user budgets, and through it the live
+// game's frozen snapshots) satisfy it, so every runner works on either.
+type Game interface {
+	Users() int
+	Channels() int
+	Utility(a *core.Alloc, i int) float64
+	BestResponseInto(ws *core.Workspace, a *core.Alloc, i int) ([]int, float64, error)
+	Potential(a *core.Alloc) float64
+}
+
 // Options configures a dynamics run.
 type config struct {
 	schedule  Schedule
 	maxRounds int
 	eps       float64
 	seed      uint64
+	ws        *core.Workspace
+}
+
+// workspace returns the injected workspace or a fresh one. Runs allocate
+// nothing beyond the trace when the caller injects (batch replicates and
+// the live server share pooled workspaces this way).
+func (c *config) workspace() *core.Workspace {
+	if c.ws != nil {
+		return c.ws
+	}
+	return core.NewWorkspace()
 }
 
 // Option configures RunBestResponse and RunRadioGreedy.
@@ -93,6 +122,15 @@ func WithEps(eps float64) Option {
 // WithSeed fixes the RNG seed for RandomOrder (default 0).
 func WithSeed(seed uint64) Option {
 	return func(c *config) { c.seed = seed }
+}
+
+// WithWorkspace injects the DP workspace the run should use instead of
+// allocating its own — batch replicates, engine shards and the live
+// server's event handlers share one (or borrow from core.Workspaces) so
+// steady-state runs allocate nothing. The workspace must not be used
+// concurrently; results are identical with or without injection.
+func WithWorkspace(ws *core.Workspace) Option {
+	return func(c *config) { c.ws = ws }
 }
 
 func buildConfig(opts []Option) (config, error) {
@@ -140,12 +178,42 @@ func RunBestResponse(g *core.Game, start *core.Alloc, opts ...Option) (Result, e
 	if err := g.CheckAlloc(start); err != nil {
 		return Result{}, err
 	}
-	a := start.Clone()
+	return bestResponseSweep(g, start.Clone(), cfg, nil)
+}
+
+// RunBestResponseHetero is RunBestResponse over a heterogeneous-budget
+// game: the identical sweep, workspace reuse and quiet caching, with each
+// user's DP bounded by its own budget. It is also the cold-start baseline
+// the warm-started Requilibrate is differentially pinned against.
+func RunBestResponseHetero(g *hetero.Game, start *core.Alloc, opts ...Option) (Result, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := g.CheckAlloc(start); err != nil {
+		return Result{}, err
+	}
+	return bestResponseSweep(g, start.Clone(), cfg, nil)
+}
+
+// bestResponseSweep is the shared best-response loop behind
+// RunBestResponse, RunBestResponseHetero and Requilibrate. It evolves a IN
+// PLACE (callers clone when the input must survive) and returns it as
+// Result.Final.
+//
+// preQuiet warm-starts the quiet cache: preQuiet[i] true asserts user i
+// provably has no improving deviation at the INITIAL allocation (move
+// count 0), so its DP is skipped until somebody moves. Requilibrate derives
+// this set from churn dirt plus the load-monotonicity argument; nil means
+// no prior knowledge (every user is swept). Because a pre-quiet user is by
+// assertion a non-mover, the move sequence, trace and terminal allocation
+// are bit-identical to the preQuiet == nil run — only DPCalls differs.
+func bestResponseSweep(g Game, a *core.Alloc, cfg config, preQuiet []bool) (Result, error) {
 	rng := des.NewRNG(cfg.seed)
-	// One workspace per run: the whole convergence process is allocation-free
-	// apart from the trace. g.Potential reads the per-game rate table and is
-	// bit-identical to Potential(g.Rate(), a).
-	ws := core.NewWorkspace()
+	// One workspace per run (injected or fresh): the whole convergence
+	// process is allocation-free apart from the trace. g.Potential reads
+	// the per-game rate table and is bit-identical to Potential(g.Rate(), a).
+	ws := cfg.workspace()
 	res := Result{Final: a, PotentialTrace: []float64{g.Potential(a)}}
 
 	order := make([]int, g.Users())
@@ -164,6 +232,9 @@ func RunBestResponse(g *core.Game, start *core.Alloc, opts ...Option) (Result, e
 	quietAt := make([]int, g.Users())
 	for i := range quietAt {
 		quietAt[i] = -1
+		if preQuiet != nil && preQuiet[i] {
+			quietAt[i] = 0
+		}
 	}
 	for round := 0; round < cfg.maxRounds; round++ {
 		if cfg.schedule == RandomOrder {
@@ -179,6 +250,7 @@ func RunBestResponse(g *core.Game, start *core.Alloc, opts ...Option) (Result, e
 			if err != nil {
 				return Result{}, fmt.Errorf("dynamics: best response for user %d: %w", i, err)
 			}
+			res.DPCalls++
 			if best > current+cfg.eps {
 				if err := a.SetRow(i, row); err != nil {
 					return Result{}, fmt.Errorf("dynamics: applying row for user %d: %w", i, err)

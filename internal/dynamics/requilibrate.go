@@ -1,0 +1,92 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"github.com/multiradio/chanalloc/internal/hetero"
+)
+
+// ReqResult reports a warm-started re-equilibration.
+type ReqResult struct {
+	Result
+	// WarmSkipped counts users whose pre-churn quiet verdict was carried
+	// over — their first best-response DP was skipped outright.
+	WarmSkipped int
+	// Events is the number of churn events folded into this run.
+	Events int
+}
+
+// Requilibrate restores a live game to a Nash equilibrium after churn,
+// warm-starting best-response dynamics from the previous equilibrium
+// instead of replaying convergence from scratch. The live allocation is
+// evolved IN PLACE; on a converged run it is an exact equilibrium of the
+// current population (every user's DP found no improving deviation).
+//
+// The warm start carries pre-churn quiet verdicts forward where they are
+// provably still valid. The utility of one radio among x own radios on a
+// channel with external load m is v(m, x) = x/(m+x)·R(m+x), non-increasing
+// in m for non-increasing R — so a user's best-response value is
+// non-increasing in the loads it faces. If every churn event only ADDED
+// load (joins, budget growth), then a user that (a) was quiet before the
+// churn, (b) had its own row untouched, and (c) occupies no channel whose
+// load changed, sees its current utility unchanged and its best
+// alternative weakly worse: it is still quiet. Any load decrease (a leave
+// or a budget cut) voids all verdicts — freed capacity can tempt anyone —
+// and the run falls back to a full sweep from the warm allocation.
+//
+// Because carried verdicts only skip DPs for provable non-movers, the move
+// sequence, rounds and terminal allocation are bit-identical to a cold
+// RunBestResponseHetero from the same start; only Result.DPCalls shrinks.
+func Requilibrate(lg *hetero.LiveGame, opts ...Option) (ReqResult, error) {
+	if lg == nil {
+		return ReqResult{}, fmt.Errorf("dynamics: nil live game")
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return ReqResult{}, err
+	}
+	wasQuiet := lg.Equilibrated()
+	churn := lg.TakeChurn()
+	if lg.Users() == 0 {
+		// The empty allocation is trivially an equilibrium.
+		lg.MarkEquilibrated(true)
+		return ReqResult{
+			Result: Result{Converged: true, PotentialTrace: []float64{0}},
+			Events: churn.Events,
+		}, nil
+	}
+	g := lg.Frozen()
+	a := lg.Alloc()
+	if err := g.CheckAlloc(a); err != nil {
+		return ReqResult{}, fmt.Errorf("dynamics: live allocation invalid: %w", err)
+	}
+
+	var preQuiet []bool
+	skipped := 0
+	if wasQuiet && !churn.Decreased {
+		preQuiet = make([]bool, lg.Users())
+		for i := range preQuiet {
+			if churn.Suspects[lg.IDAt(i)] {
+				continue
+			}
+			onDirty := false
+			for c := 0; c < lg.Channels(); c++ {
+				if churn.Dirty[c] && a.Radios(i, c) > 0 {
+					onDirty = true
+					break
+				}
+			}
+			if !onDirty {
+				preQuiet[i] = true
+				skipped++
+			}
+		}
+	}
+
+	res, err := bestResponseSweep(g, a, cfg, preQuiet)
+	if err != nil {
+		return ReqResult{}, err
+	}
+	lg.MarkEquilibrated(res.Converged)
+	return ReqResult{Result: res, WarmSkipped: skipped, Events: churn.Events}, nil
+}

@@ -33,7 +33,7 @@ func RunSimultaneous(g *core.Game, start *core.Alloc, inertia float64, opts ...O
 	rng := des.NewRNG(cfg.seed)
 	res := Result{Final: a, PotentialTrace: []float64{g.Potential(a)}}
 
-	ws := core.NewWorkspace()
+	ws := cfg.workspace()
 	rows := make([][]int, g.Users())
 	for round := 0; round < cfg.maxRounds; round++ {
 		// Phase 1: everyone plans against the same snapshot.

@@ -149,6 +149,21 @@ func (g *Game) Welfare(a *core.Alloc) float64 {
 	return w
 }
 
+// Potential evaluates the exact congestion potential
+// Φ(S) = Σ_c Σ_{j=1}^{k_c} R(j)/j via the precomputed rate table, in the
+// same term order (and hence bit-identical) as dynamics.Potential with the
+// game's own rate function. The potential argument is budget-free, so the
+// uniform game's monotonicity guarantees carry over unchanged.
+func (g *Game) Potential(a *core.Alloc) float64 {
+	var phi float64
+	for c := 0; c < a.Channels(); c++ {
+		for j := 1; j <= a.Load(c); j++ {
+			phi += g.view.RateAt(j) / float64(j)
+		}
+	}
+	return phi
+}
+
 // BestResponse computes user i's optimal reallocation within its budget.
 // One-shot form of BestResponseInto.
 func (g *Game) BestResponse(a *core.Alloc, i int) ([]int, float64, error) {

@@ -1,0 +1,203 @@
+package live
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/multiradio/chanalloc/internal/des"
+)
+
+// ChurnSpec parameterises a synthetic churn trace: a birth–death process
+// over users rendered as a protocol request stream. Arrivals are Poisson,
+// lifetimes and budget-change gaps exponential — all drawn from one seeded
+// SplitMix64 stream through the deterministic event simulator, so a spec
+// maps to exactly one trace.
+type ChurnSpec struct {
+	// Channels bounds budgets; it is not embedded in the trace but callers
+	// must serve the trace on a game with this many channels.
+	Channels int
+	// Initial users join at time zero before churn begins.
+	Initial int
+	// Events is the exact number of requests generated.
+	Events int
+	// MinBudget and MaxBudget bound the uniform budget draw (radios).
+	MinBudget, MaxBudget int
+	// Seed feeds the simulator's RNG.
+	Seed uint64
+	// ArrivalRate is the Poisson join rate; MeanLifetime the expected
+	// session length (steady population ≈ ArrivalRate·MeanLifetime);
+	// BudgetRate the per-user rate of budget renegotiations (0 disables).
+	ArrivalRate  float64
+	MeanLifetime float64
+	BudgetRate   float64
+}
+
+// Validate checks the spec is generable.
+func (spec ChurnSpec) Validate() error {
+	if spec.Channels < 1 {
+		return fmt.Errorf("live: churn channels = %d, want >= 1", spec.Channels)
+	}
+	if spec.Initial < 0 {
+		return fmt.Errorf("live: churn initial = %d, want >= 0", spec.Initial)
+	}
+	if spec.Events < 1 {
+		return fmt.Errorf("live: churn events = %d, want >= 1", spec.Events)
+	}
+	if spec.MinBudget < 1 || spec.MaxBudget < spec.MinBudget || spec.MaxBudget > spec.Channels {
+		return fmt.Errorf("live: churn budgets [%d, %d] outside [1, %d]",
+			spec.MinBudget, spec.MaxBudget, spec.Channels)
+	}
+	if spec.ArrivalRate <= 0 {
+		return fmt.Errorf("live: churn arrival rate %v, want > 0", spec.ArrivalRate)
+	}
+	if spec.MeanLifetime <= 0 {
+		return fmt.Errorf("live: churn mean lifetime %v, want > 0", spec.MeanLifetime)
+	}
+	if spec.BudgetRate < 0 {
+		return fmt.Errorf("live: churn budget rate %v, want >= 0", spec.BudgetRate)
+	}
+	return nil
+}
+
+// DefaultChurnSpec fills the rate and budget parameters a compact spec
+// string leaves open: budgets uniform over [1, min(channels, 4)], unit
+// arrival rate, mean lifetime sized so the steady population matches the
+// initial one, and a gentle budget renegotiation rate.
+func DefaultChurnSpec(channels, initial, events int, seed uint64) ChurnSpec {
+	maxBudget := channels
+	if maxBudget > 4 {
+		maxBudget = 4
+	}
+	life := float64(initial)
+	if life <= 0 {
+		life = 4
+	}
+	return ChurnSpec{
+		Channels:     channels,
+		Initial:      initial,
+		Events:       events,
+		MinBudget:    1,
+		MaxBudget:    maxBudget,
+		Seed:         seed,
+		ArrivalRate:  1,
+		MeanLifetime: life,
+		BudgetRate:   0.25,
+	}
+}
+
+// ParseChurnSpec parses the compact form "channels,initial,events[,seed]"
+// (seed defaults to 1); the remaining parameters come from
+// DefaultChurnSpec.
+func ParseChurnSpec(s string) (ChurnSpec, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 && len(parts) != 4 {
+		return ChurnSpec{}, fmt.Errorf("live: churn spec %q, want channels,initial,events[,seed]", s)
+	}
+	nums := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		v, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+		if err != nil {
+			return ChurnSpec{}, fmt.Errorf("live: churn spec %q: %w", s, err)
+		}
+		nums[i] = v
+	}
+	seed := uint64(1)
+	if len(parts) == 4 {
+		v, err := strconv.ParseUint(strings.TrimSpace(parts[3]), 10, 64)
+		if err != nil {
+			return ChurnSpec{}, fmt.Errorf("live: churn spec %q: %w", s, err)
+		}
+		seed = v
+	}
+	spec := DefaultChurnSpec(nums[0], nums[1], nums[2], seed)
+	if err := spec.Validate(); err != nil {
+		return ChurnSpec{}, err
+	}
+	return spec, nil
+}
+
+// GenerateTrace renders the spec as a request stream through the
+// deterministic event simulator. The generator mirrors the server's id
+// assignment — sequential from 1 per join — so leave and budget requests
+// name ids the serving game will recognise. The trace holds exactly
+// spec.Events mutation requests.
+func GenerateTrace(spec ChurnSpec) ([]Request, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sim := des.New(spec.Seed)
+	rng := sim.RNG()
+	trace := make([]Request, 0, spec.Events)
+	live := make(map[int64]bool)
+	var nextID int64
+
+	emit := func(r Request) {
+		trace = append(trace, r)
+		if len(trace) >= spec.Events {
+			sim.Stop()
+		}
+	}
+	randBudget := func() int {
+		return spec.MinBudget + rng.Intn(spec.MaxBudget-spec.MinBudget+1)
+	}
+	var renegotiate func(id int64) error
+	renegotiate = func(id int64) error {
+		_, err := sim.After(rng.ExpFloat64()/spec.BudgetRate, func(*des.Simulator) {
+			if !live[id] {
+				return
+			}
+			emit(Request{Op: "budget", ID: id, Budget: randBudget()})
+			if err := renegotiate(id); err != nil {
+				panic(err) // unreachable: delays are non-negative
+			}
+		})
+		return err
+	}
+	admit := func(s *des.Simulator) error {
+		nextID++
+		id := nextID
+		live[id] = true
+		emit(Request{Op: "join", Budget: randBudget()})
+		_, err := s.After(rng.ExpFloat64()*spec.MeanLifetime, func(*des.Simulator) {
+			delete(live, id)
+			emit(Request{Op: "leave", ID: id})
+		})
+		if err != nil {
+			return err
+		}
+		if spec.BudgetRate > 0 {
+			return renegotiate(id)
+		}
+		return nil
+	}
+	var arrive func(s *des.Simulator)
+	arrive = func(s *des.Simulator) {
+		if err := admit(s); err != nil {
+			panic(err) // unreachable
+		}
+		if _, err := s.After(rng.ExpFloat64()/spec.ArrivalRate, arrive); err != nil {
+			panic(err) // unreachable
+		}
+	}
+
+	for i := 0; i < spec.Initial; i++ {
+		if _, err := sim.Schedule(0, func(s *des.Simulator) {
+			if err := admit(s); err != nil {
+				panic(err)
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := sim.After(rng.ExpFloat64()/spec.ArrivalRate, arrive); err != nil {
+		return nil, err
+	}
+	if err := sim.RunAll(); err != nil && err != des.ErrStopped {
+		return nil, err
+	}
+	if len(trace) != spec.Events {
+		return nil, fmt.Errorf("live: trace underrun: %d of %d events", len(trace), spec.Events)
+	}
+	return trace, nil
+}

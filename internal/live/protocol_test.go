@@ -1,0 +1,88 @@
+package live
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFrameBytes pins the wire encoding of every frame type. These are the
+// bytes remote clients parse; a failing case here is a protocol break and
+// needs a ProtocolVersion bump, not a test update.
+func TestFrameBytes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		v    any
+		want string
+	}{
+		{
+			"hello",
+			Hello{Type: "hello", Version: 1, Channels: 4, Rate: "tdma-54"},
+			`{"type":"hello","version":1,"channels":4,"rate":"tdma-54"}`,
+		},
+		{
+			"join request",
+			Request{Op: "join", Budget: 2},
+			`{"op":"join","budget":2}`,
+		},
+		{
+			"leave request",
+			Request{Op: "leave", ID: 7},
+			`{"op":"leave","id":7}`,
+		},
+		{
+			"budget request",
+			Request{Op: "budget", ID: 7, Budget: 3},
+			`{"op":"budget","id":7,"budget":3}`,
+		},
+		{
+			"stats request",
+			Request{Op: "stats"},
+			`{"op":"stats"}`,
+		},
+		{
+			"update response",
+			Response{Type: "update", Update: &Update{
+				Event: 3, Op: "join", ID: 2, Users: 2, Radios: 3,
+				Loads: []int{1, 2, 0}, Welfare: 36, Rounds: 2, Moves: 1,
+				DPCalls: 4, WarmSkipped: 1, Converged: true, Verified: true,
+			}},
+			`{"type":"update","update":{"event":3,"op":"join","id":2,"users":2,"radios":3,` +
+				`"loads":[1,2,0],"welfare":36,"rounds":2,"moves":1,"dp_calls":4,` +
+				`"warm_skipped":1,"converged":true,"verified":true}}`,
+		},
+		{
+			"zero-valued update keeps load-bearing fields",
+			Response{Type: "update", Update: &Update{Op: "leave", ID: 1, Loads: []int{0}}},
+			`{"type":"update","update":{"event":0,"op":"leave","id":1,"users":0,"radios":0,` +
+				`"loads":[0],"welfare":0,"rounds":0,"moves":0,"dp_calls":0,` +
+				`"warm_skipped":0,"converged":false,"verified":false}}`,
+		},
+		{
+			"error response",
+			Response{Type: "error", Error: "unknown op \"x\""},
+			`{"type":"error","error":"unknown op \"x\""}`,
+		},
+		{
+			"stats response",
+			Response{Type: "stats", Stats: &Stats{Events: 5, Joins: 3, Leaves: 1, BudgetOps: 1,
+				Moves: 9, DPCalls: 30, WarmSkipped: 4, Users: 2, Radios: 5}},
+			`{"type":"stats","stats":{"events":5,"joins":3,"leaves":1,"budget_ops":1,` +
+				`"moves":9,"dp_calls":30,"warm_skipped":4,"users":2,"radios":5}}`,
+		},
+		{
+			"bye response",
+			Response{Type: "bye"},
+			`{"type":"bye"}`,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := json.Marshal(tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != tc.want {
+				t.Fatalf("frame bytes drifted:\n got %s\nwant %s", got, tc.want)
+			}
+		})
+	}
+}

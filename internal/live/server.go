@@ -1,0 +1,249 @@
+package live
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/multiradio/chanalloc/internal/core"
+	"github.com/multiradio/chanalloc/internal/dynamics"
+	"github.com/multiradio/chanalloc/internal/hetero"
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Channels is |C|; Rate the common rate function; RateName its
+	// display form echoed in the hello frame.
+	Channels int
+	Rate     ratefn.Func
+	RateName string
+	// Workers bounds the parallel Nash-equilibrium verification fan-out;
+	// < 1 means runtime.NumCPU(). The worker count NEVER affects output
+	// bytes — verification is an AND-reduce over per-user verdicts.
+	Workers int
+	// Verify re-proves every re-equilibrated allocation with the exact
+	// oracle and reports the verdict in each update frame.
+	Verify bool
+	// Eps and MaxRounds override the dynamics defaults when positive.
+	Eps       float64
+	MaxRounds int
+}
+
+// Server owns one live game and speaks the NDJSON protocol over any
+// reader/writer pair. It is single-conversation: events are serialised,
+// parallelism lives inside verification (and the dynamics workspace is
+// pooled). Not safe for concurrent Serve calls.
+type Server struct {
+	lg      *hetero.LiveGame
+	cfg     Config
+	dynOpts []dynamics.Option
+	stats   Stats
+}
+
+// NewServer builds a server with an empty live game.
+func NewServer(cfg Config) (*Server, error) {
+	lg, err := hetero.NewLiveGame(cfg.Channels, cfg.Rate)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.RateName == "" {
+		cfg.RateName = cfg.Rate.Name()
+	}
+	var opts []dynamics.Option
+	if cfg.Eps > 0 {
+		opts = append(opts, dynamics.WithEps(cfg.Eps))
+	}
+	if cfg.MaxRounds > 0 {
+		opts = append(opts, dynamics.WithMaxRounds(cfg.MaxRounds))
+	}
+	return &Server{lg: lg, cfg: cfg, dynOpts: opts}, nil
+}
+
+// Game exposes the underlying live game (read-only for callers).
+func (s *Server) Game() *hetero.LiveGame { return s.lg }
+
+// Stats returns a copy of the cumulative session statistics.
+func (s *Server) Stats() Stats {
+	out := s.stats
+	out.Users = s.lg.Users()
+	if a := s.lg.Alloc(); a != nil {
+		out.Radios = a.TotalRadios()
+	}
+	return out
+}
+
+// Serve runs one NDJSON conversation: hello first, then one response line
+// per request line until EOF, a bye request, or a transport error. Invalid
+// requests get error frames and the conversation continues — a malformed
+// line is a client bug worth reporting, not a reason to drop a live
+// allocation service.
+func (s *Server) Serve(r io.Reader, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(Hello{
+		Type:     "hello",
+		Version:  ProtocolVersion,
+		Channels: s.cfg.Channels,
+		Rate:     s.cfg.RateName,
+	}); err != nil {
+		return fmt.Errorf("live: writing hello: %w", err)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			if err := enc.Encode(Response{Type: "error", Error: fmt.Sprintf("bad frame: %v", err)}); err != nil {
+				return err
+			}
+			continue
+		}
+		if req.Op == "bye" {
+			return enc.Encode(Response{Type: "bye"})
+		}
+		resp := s.Apply(req)
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Apply executes one request against the live game and builds its
+// response frame. Mutation ops re-equilibrate before answering, so every
+// update frame describes a settled allocation.
+func (s *Server) Apply(req Request) Response {
+	var id hetero.UserID
+	switch req.Op {
+	case "stats":
+		st := s.Stats()
+		return Response{Type: "stats", Stats: &st}
+	case "join":
+		jid, err := s.lg.Join(req.Budget)
+		if err != nil {
+			return Response{Type: "error", Error: err.Error()}
+		}
+		id = jid
+		s.stats.Joins++
+	case "leave":
+		if err := s.lg.Leave(hetero.UserID(req.ID)); err != nil {
+			return Response{Type: "error", Error: err.Error()}
+		}
+		id = hetero.UserID(req.ID)
+		s.stats.Leaves++
+	case "budget":
+		if err := s.lg.SetBudget(hetero.UserID(req.ID), req.Budget); err != nil {
+			return Response{Type: "error", Error: err.Error()}
+		}
+		id = hetero.UserID(req.ID)
+		s.stats.BudgetOps++
+	default:
+		return Response{Type: "error", Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+
+	ws := core.Workspaces.Get()
+	opts := append(append([]dynamics.Option(nil), s.dynOpts...), dynamics.WithWorkspace(ws))
+	res, err := dynamics.Requilibrate(s.lg, opts...)
+	core.Workspaces.Put(ws)
+	if err != nil {
+		return Response{Type: "error", Error: fmt.Sprintf("requilibrate: %v", err)}
+	}
+	s.stats.Events++
+	s.stats.Moves += res.Moves
+	s.stats.DPCalls += res.DPCalls
+	s.stats.WarmSkipped += res.WarmSkipped
+
+	u := &Update{
+		Event:       s.stats.Events,
+		Op:          req.Op,
+		ID:          int64(id),
+		Users:       s.lg.Users(),
+		Loads:       make([]int, s.cfg.Channels),
+		Rounds:      res.Rounds,
+		Moves:       res.Moves,
+		DPCalls:     res.DPCalls,
+		WarmSkipped: res.WarmSkipped,
+		Converged:   res.Converged,
+	}
+	if a := s.lg.Alloc(); a != nil {
+		copy(u.Loads, a.Loads())
+		u.Radios = a.TotalRadios()
+		u.Welfare = s.lg.Frozen().Welfare(a)
+		if s.cfg.Verify {
+			u.Verified = s.verifyNE()
+		}
+	} else if s.cfg.Verify {
+		u.Verified = true // the empty allocation is trivially an equilibrium
+	}
+	return Response{Type: "update", Update: u}
+}
+
+// verifyNE re-proves the current allocation is a Nash equilibrium with the
+// exact per-user best-response oracle, sharding users over the configured
+// workers. Each worker borrows a pooled DP workspace; the verdict is an
+// AND-reduce over independent per-user checks, so it is identical at any
+// worker count and the early exit on a found deviation only saves time.
+func (s *Server) verifyNE() bool {
+	g := s.lg.Frozen()
+	a := s.lg.Alloc()
+	if g == nil {
+		return true
+	}
+	n := g.Users()
+	workers := s.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		ws := core.Workspaces.Get()
+		defer core.Workspaces.Put(ws)
+		return verifyRange(g, a, ws, 0, n, nil)
+	}
+	var refuted atomic.Bool
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ws := core.Workspaces.Get()
+			defer core.Workspaces.Put(ws)
+			if !verifyRange(g, a, ws, lo, hi, &refuted) {
+				refuted.Store(true)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return !refuted.Load()
+}
+
+// verifyRange checks users [lo, hi) have no improving deviation at the
+// oracle tolerance. A non-nil refuted flag allows cross-shard early exit.
+func verifyRange(g *hetero.Game, a *core.Alloc, ws *core.Workspace, lo, hi int, refuted *atomic.Bool) bool {
+	for i := lo; i < hi; i++ {
+		if refuted != nil && refuted.Load() {
+			return true // some other shard already decided; verdict unaffected
+		}
+		current := g.Utility(a, i)
+		_, best, err := g.BestResponseInto(ws, a, i)
+		if err != nil || best > current+core.DefaultEps {
+			return false
+		}
+	}
+	return true
+}

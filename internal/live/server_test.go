@@ -1,0 +1,169 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+func newTestServer(t *testing.T, workers int) *Server {
+	t.Helper()
+	s, err := NewServer(Config{
+		Channels: 4,
+		Rate:     ratefn.NewTDMA(54),
+		RateName: "tdma:54",
+		Workers:  workers,
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// traceBytes renders a request trace as NDJSON client input.
+func traceBytes(t *testing.T, trace []Request) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, req := range trace {
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestServeTraceDeterministicAcrossWorkers is the protocol-level
+// determinism pin: the same seeded churn trace produces byte-identical
+// server output at any worker count — parallel NE verification is an
+// AND-reduce and never shows in the frames.
+func TestServeTraceDeterministicAcrossWorkers(t *testing.T) {
+	trace, err := GenerateTrace(DefaultChurnSpec(4, 5, 120, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := traceBytes(t, append(trace, Request{Op: "stats"}, Request{Op: "bye"}))
+
+	var outputs [][]byte
+	for _, workers := range []int{1, 2, 8} {
+		s := newTestServer(t, workers)
+		var out bytes.Buffer
+		if err := s.Serve(bytes.NewReader(in), &out); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		outputs = append(outputs, out.Bytes())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if !bytes.Equal(outputs[0], outputs[i]) {
+			t.Fatalf("server output differs between worker counts 1 and %d", []int{1, 2, 8}[i])
+		}
+	}
+
+	// Every update frame in the transcript is settled and verified.
+	lines := strings.Split(strings.TrimSpace(string(outputs[0])), "\n")
+	var hello Hello
+	if err := json.Unmarshal([]byte(lines[0]), &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Type != "hello" || hello.Version != ProtocolVersion || hello.Channels != 4 || hello.Rate != "tdma:54" {
+		t.Fatalf("hello frame = %+v", hello)
+	}
+	updates, statsSeen, byeSeen := 0, false, false
+	for _, line := range lines[1:] {
+		var resp Response
+		if err := json.Unmarshal([]byte(line), &resp); err != nil {
+			t.Fatal(err)
+		}
+		switch resp.Type {
+		case "update":
+			updates++
+			u := resp.Update
+			if u == nil || !u.Converged || !u.Verified {
+				t.Fatalf("unsettled update frame: %s", line)
+			}
+			if u.Event != updates {
+				t.Fatalf("event counter %d on update %d", u.Event, updates)
+			}
+		case "stats":
+			statsSeen = true
+			if resp.Stats.Events != updates {
+				t.Fatalf("stats count %d events, transcript has %d updates", resp.Stats.Events, updates)
+			}
+			if resp.Stats.DPCalls < 1 || resp.Stats.WarmSkipped < 1 {
+				t.Fatalf("stats missing convergence work: %+v", resp.Stats)
+			}
+		case "bye":
+			byeSeen = true
+		case "error":
+			t.Fatalf("error frame on a valid trace: %s", line)
+		default:
+			t.Fatalf("unknown frame type %q", resp.Type)
+		}
+	}
+	if updates != len(trace) || !statsSeen || !byeSeen {
+		t.Fatalf("transcript had %d updates (want %d), stats=%v bye=%v",
+			updates, len(trace), statsSeen, byeSeen)
+	}
+}
+
+// TestServeErrorFrames pins the failure paths: bad JSON, unknown ops and
+// invalid mutations produce error frames without ending the conversation
+// or corrupting the game.
+func TestServeErrorFrames(t *testing.T) {
+	s := newTestServer(t, 1)
+	in := strings.Join([]string{
+		`{"op":"join","budget":2}`,
+		`not json`,
+		`{"op":"teleport"}`,
+		`{"op":"leave","id":42}`,
+		`{"op":"join","budget":0}`,
+		`{"op":"budget","id":1,"k":0}`,
+		`{"op":"join","budget":1}`,
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := s.Serve(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	wantTypes := []string{"hello", "update", "error", "error", "error", "error", "error", "update"}
+	if len(lines) != len(wantTypes) {
+		t.Fatalf("got %d frames, want %d:\n%s", len(lines), len(wantTypes), out.String())
+	}
+	for i, line := range lines {
+		var frame struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &frame); err != nil {
+			t.Fatal(err)
+		}
+		if frame.Type != wantTypes[i] {
+			t.Fatalf("frame %d is %q, want %q: %s", i, frame.Type, wantTypes[i], line)
+		}
+	}
+	if s.Game().Users() != 2 {
+		t.Fatalf("game has %d users after 2 good joins, want 2", s.Game().Users())
+	}
+}
+
+// TestApplyJoinAssignsSequentialIDs pins the id contract the churn
+// generator mirrors: sequential from 1, never reused.
+func TestApplyJoinAssignsSequentialIDs(t *testing.T) {
+	s := newTestServer(t, 1)
+	for want := int64(1); want <= 3; want++ {
+		resp := s.Apply(Request{Op: "join", Budget: 1})
+		if resp.Type != "update" || resp.Update.ID != want {
+			t.Fatalf("join %d -> %+v", want, resp)
+		}
+	}
+	if resp := s.Apply(Request{Op: "leave", ID: 2}); resp.Type != "update" {
+		t.Fatalf("leave -> %+v", resp)
+	}
+	// The freed id is not recycled.
+	if resp := s.Apply(Request{Op: "join", Budget: 1}); resp.Update.ID != 4 {
+		t.Fatalf("join after leave assigned id %d, want 4", resp.Update.ID)
+	}
+}

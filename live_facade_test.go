@@ -1,0 +1,106 @@
+package chanalloc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/multiradio/chanalloc"
+)
+
+// TestLiveFacade drives the live-game surface end to end through the
+// facade: mutate, warm-start requilibrate with a borrowed workspace, and
+// cross-check the result against the heterogeneous cold-start runner.
+func TestLiveFacade(t *testing.T) {
+	lg, err := chanalloc.NewLiveGame(4, chanalloc.TDMA(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []chanalloc.UserID
+	for _, k := range []int{2, 1, 3, 1} {
+		id, err := lg.Join(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	ws := chanalloc.BorrowWorkspace()
+	defer chanalloc.ReturnWorkspace(ws)
+	res, err := chanalloc.Requilibrate(lg, chanalloc.WithDynamicsWorkspace(ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if err := lg.Leave(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold-start runner from the same post-churn state must agree.
+	g := lg.Frozen()
+	start := lg.Alloc().Clone()
+	warm, err := chanalloc.Requilibrate(lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := chanalloc.RunHeteroBestResponse(g, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Moves != cold.Moves || !cold.Final.Equal(lg.Alloc()) {
+		t.Fatalf("warm (%d moves) and cold (%d moves) disagree", warm.Moves, cold.Moves)
+	}
+	ne, err := g.IsNashEquilibrium(lg.Alloc())
+	if err != nil || !ne {
+		t.Fatalf("terminal allocation not NE: %v %v", ne, err)
+	}
+}
+
+// TestLiveFacadeServer runs a tiny churn trace through the facade's
+// server exports.
+func TestLiveFacadeServer(t *testing.T) {
+	trace, err := chanalloc.GenerateChurnTrace(chanalloc.DefaultChurnSpec(3, 2, 20, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 20 {
+		t.Fatalf("trace has %d events, want 20", len(trace))
+	}
+	srv, err := chanalloc.NewLiveServer(chanalloc.LiveConfig{
+		Channels: 3, Rate: chanalloc.TDMA(54), RateName: "tdma:54", Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	for _, req := range trace {
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	if err := chanalloc.ServeLive(srv, &in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(out.String(), "\n")
+	if lines != len(trace)+1 { // hello + one update per event
+		t.Fatalf("transcript has %d frames, want %d", lines, len(trace)+1)
+	}
+	if strings.Contains(out.String(), `"type":"error"`) {
+		t.Fatalf("error frame in transcript:\n%s", out.String())
+	}
+
+	// The protocol version is part of the public surface.
+	if chanalloc.LiveProtocolVersion != 1 {
+		t.Fatalf("protocol version %d, want 1", chanalloc.LiveProtocolVersion)
+	}
+	if _, err := chanalloc.ParseChurnSpec("nope"); err == nil {
+		t.Fatal("bad churn spec accepted")
+	}
+	if _, err := chanalloc.ParseRate("tdma:54"); err != nil {
+		t.Fatal(err)
+	}
+}

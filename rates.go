@@ -1,10 +1,77 @@
 package chanalloc
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"github.com/multiradio/chanalloc/internal/bianchi"
 	"github.com/multiradio/chanalloc/internal/macsim"
 	"github.com/multiradio/chanalloc/internal/ratefn"
 )
+
+// ParseRate parses the rate-function specification grammar shared by the
+// command-line tools (chanalloc, allocd):
+//
+//	tdma:R0                      constant rate R0 (reservation TDMA)
+//	harmonic:R0:alpha            R0 / (1 + alpha·(k-1))
+//	geometric:R0:beta            R0 · beta^(k-1)
+//	csma-practical[:1mbps|:80211b]  Bianchi DCF saturation throughput
+//	csma-optimal[:1mbps|:80211b]    optimal-backoff throughput
+func ParseRate(spec string) (RateFunc, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "tdma":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("rate %q: want tdma:R0", spec)
+		}
+		r0, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || r0 <= 0 {
+			return nil, fmt.Errorf("rate %q: bad R0", spec)
+		}
+		return TDMA(r0), nil
+	case "harmonic":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("rate %q: want harmonic:R0:alpha", spec)
+		}
+		r0, err1 := strconv.ParseFloat(parts[1], 64)
+		alpha, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || r0 <= 0 || alpha < 0 {
+			return nil, fmt.Errorf("rate %q: bad parameters", spec)
+		}
+		return HarmonicRate(r0, alpha), nil
+	case "geometric":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("rate %q: want geometric:R0:beta", spec)
+		}
+		r0, err1 := strconv.ParseFloat(parts[1], 64)
+		beta, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || r0 <= 0 || beta <= 0 || beta > 1 {
+			return nil, fmt.Errorf("rate %q: bad parameters", spec)
+		}
+		return GeometricRate(r0, beta), nil
+	case "csma-practical", "csma-optimal":
+		p := Default80211b()
+		if len(parts) == 2 {
+			switch parts[1] {
+			case "1mbps":
+				p = Bianchi1Mbps()
+			case "80211b":
+				// default
+			default:
+				return nil, fmt.Errorf("rate %q: unknown PHY %q", spec, parts[1])
+			}
+		} else if len(parts) > 2 {
+			return nil, fmt.Errorf("rate %q: want %s[:1mbps|:80211b]", spec, parts[0])
+		}
+		if parts[0] == "csma-practical" {
+			return PracticalCSMA(p)
+		}
+		return OptimalCSMA(p)
+	default:
+		return nil, fmt.Errorf("unknown rate function %q", spec)
+	}
+}
 
 // TDMA returns the reservation-TDMA rate function: R(k) = r0 for every
 // k >= 1 (the paper's headline constant-rate regime, Figure 3's top line).
