@@ -809,3 +809,21 @@ func BenchmarkPooledWorkspaceBestResponse(b *testing.B) {
 		chanalloc.ReturnWorkspace(ws)
 	}
 }
+
+// BenchmarkObsOverhead pins the instrumentation fast path every kernel and
+// engine counter rides on: a counter add, a gauge set and a histogram
+// observe together must stay allocation-free (0 allocs/op) and in the
+// low-nanosecond range, or hot-path metrics would tax the DP benchmarks
+// they exist to explain.
+func BenchmarkObsOverhead(b *testing.B) {
+	c := chanalloc.NewObsCounter("bench_obs_overhead_total")
+	g := chanalloc.NewObsGauge("bench_obs_overhead_gauge")
+	h := chanalloc.NewObsHistogram("bench_obs_overhead_depth", []int64{1, 8, 64, 512})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(int64(i))
+		h.Observe(int64(i & 1023))
+	}
+}

@@ -55,9 +55,19 @@ func run(args []string, stdout io.Writer) error {
 		verify    = fs.Bool("verify", true, "re-prove every settled allocation with the exact NE oracle")
 		listen    = fs.String("listen", "", "TCP listen address (serve mode); empty means stdin/stdout")
 		churnSpec = fs.String("churn", "4,6,200,1", "churn spec channels,initial,events[,seed] (churn/trace modes)")
+		metrics   = fs.String("metrics", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (empty disables)")
+		obsStats  = fs.Bool("obs-stats", false, "embed a metrics snapshot in every stats frame (off keeps transcripts byte-pinned)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics != "" {
+		ms, err := chanalloc.ServeObs(*metrics)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintln(os.Stderr, "allocd: metrics on", ms.Addr)
 	}
 	rate, err := chanalloc.ParseRate(*rateSpec)
 	if err != nil {
@@ -71,6 +81,7 @@ func run(args []string, stdout io.Writer) error {
 		Verify:    *verify,
 		Eps:       *eps,
 		MaxRounds: *maxRounds,
+		EmitObs:   *obsStats,
 	}
 
 	switch *mode {
@@ -122,10 +133,13 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // serveListener accepts connections until the listener closes; every
-// connection converses with its own fresh game. Connections are served
+// connection converses with its own fresh game, but session statistics
+// aggregate across connections — the "stats" op reports service-lifetime
+// totals, not just the dialing connection's. Connections are served
 // sequentially — the service is a deterministic reference implementation,
 // not a connection-scale daemon.
 func serveListener(ln net.Listener, cfg live.Config) error {
+	cfg.Totals = &live.Totals{}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {

@@ -3,10 +3,13 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/multiradio/chanalloc"
 	"github.com/multiradio/chanalloc/internal/live"
@@ -115,6 +118,76 @@ func TestLoopbackServe(t *testing.T) {
 	// The accept loop only returns on listener close.
 	ln.Close()
 	<-serveErr
+}
+
+// TestMetricsScrapeDuringGoldenReplay is the determinism acceptance test
+// for the observability layer: with the metrics endpoint up and a client
+// hammering /metrics, /metrics.json and /trace THROUGHOUT the golden churn
+// replay, the transcript must still match the pinned bytes — metrics are a
+// side channel, never an input.
+func TestMetricsScrapeDuringGoldenReplay(t *testing.T) {
+	srv, err := chanalloc.ServeObs("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr.String()
+
+	scrape := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return body
+	}
+
+	done := make(chan struct{})
+	scraping := make(chan struct{})
+	go func() {
+		defer close(scraping)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				scrape("/metrics")
+				scrape("/metrics.json")
+				scrape("/trace")
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var out bytes.Buffer
+	err = run([]string{"-mode", "churn", "-churn", goldenSpec, "-rate", "tdma:54"}, &out)
+	close(done)
+	<-scraping
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), goldenBytes(t)) {
+		t.Fatalf("transcript diverged from golden under metrics scraping (%d vs %d bytes)",
+			out.Len(), len(goldenBytes(t)))
+	}
+
+	// After the replay the exposition must show the churn it observed.
+	body := scrape("/metrics")
+	for _, want := range []string{"live_events_total", "dynamics_requilibrates_total", "kernel_dp_calls_total"} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %s after churn replay", want)
+		}
+	}
+	if trace := scrape("/trace"); !bytes.Contains(trace, []byte(`"kind":"churn"`)) {
+		t.Errorf("/trace has no churn events after replay: %q", trace[:min(len(trace), 200)])
+	}
 }
 
 // TestTraceMode pins that trace mode emits the replay input churn mode

@@ -1,0 +1,231 @@
+// Command benchdash renders the committed benchmark trajectory — the
+// BENCH_<date>.json artifacts under dev/bench/ — as one self-contained
+// static HTML dashboard: per-benchmark ns/op sparklines with the best-ever
+// line and the rolling-median band, plus allocs/op trends, so a perf
+// regression (or win) is visible as a picture instead of a diff hunt.
+//
+//	benchdash -dir dev/bench -out dev/bench/index.html
+//	benchdash -dir dev/bench -out -          # write the HTML to stdout
+//
+// The statistics mirror cmd/benchdiff -history exactly: artifacts are read
+// in filename order (names embed ISO dates, so lexicographic order is
+// chronological), zero/negative ns/op entries are dropped, best-ever is
+// the minimum across all artifacts, and the rolling median covers the last
+// -window artifacts that actually carry the benchmark. The page embeds no
+// scripts and fetches nothing — it renders anywhere, including file://
+// checkouts and artifact viewers — and its bytes are a pure function of
+// the artifact set, so regenerating it without new benchmarks is a no-op
+// in the diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Entry is one benchmark's record in a BENCH_<date>.json artifact (the
+// schema cmd/benchjson writes and cmd/benchdiff reads).
+type Entry struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp *float64           `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// allocs returns the entry's allocs/op and whether it was recorded,
+// preferring the first-class field over the legacy metrics map.
+func (e Entry) allocs() (float64, bool) {
+	if e.AllocsPerOp != nil {
+		return *e.AllocsPerOp, true
+	}
+	v, ok := e.Metrics["allocs/op"]
+	return v, ok
+}
+
+// Report is one decoded artifact.
+type Report struct {
+	Date    string  `json:"date"`
+	Entries []Entry `json:"entries"`
+}
+
+// key identifies a benchmark across artifacts.
+type key struct {
+	name  string
+	procs int
+}
+
+// point is one artifact's measurement of one benchmark.
+type point struct {
+	label  string // artifact date (filename stem as fallback)
+	ns     float64
+	allocs float64 // -1 when the artifact did not record allocs
+}
+
+// series is one benchmark's trajectory with the benchdiff-equivalent
+// statistics attached.
+type series struct {
+	key    key
+	points []point
+	best   float64   // minimum ns/op across all points
+	median float64   // median ns/op over the last `window` points
+	roll   []float64 // rolling median at each point (trailing window)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdash:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdash", flag.ContinueOnError)
+	dir := fs.String("dir", "dev/bench", "directory of committed BENCH_*.json artifacts")
+	out := fs.String("out", "dev/bench/index.html", `output HTML path ("-" writes to stdout)`)
+	window := fs.Int("window", 8, "rolling-median window (matches benchdiff -history)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *window < 1 {
+		return fmt.Errorf("-window must be >= 1, got %d", *window)
+	}
+	reports, labels, err := readHistory(*dir)
+	if err != nil {
+		return err
+	}
+	page := render(buildSeries(reports, labels, *window), labels, *window)
+	if *out == "-" {
+		_, err := io.WriteString(stdout, page)
+		return err
+	}
+	return os.WriteFile(*out, []byte(page), 0o644)
+}
+
+// readHistory loads every BENCH_*.json under dir in filename order
+// (lexicographic = chronological) and derives each artifact's label.
+func readHistory(dir string) ([]Report, []string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("globbing history: %w", err)
+	}
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("no BENCH_*.json artifacts under %s", dir)
+	}
+	sort.Strings(paths)
+	reports := make([]Report, 0, len(paths))
+	labels := make([]string, 0, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		var r Report
+		if err := json.Unmarshal(b, &r); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", p, err)
+		}
+		reports = append(reports, r)
+		// The filename stem disambiguates same-day artifacts
+		// (BENCH_2026-08-08b.json) where the embedded date cannot.
+		labels = append(labels, strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json"))
+	}
+	return reports, labels, nil
+}
+
+// buildSeries folds the artifact sequence into per-benchmark trajectories
+// with benchdiff's statistics: dropped non-positive ns/op, best-ever over
+// all runs, medians over the points that actually carry the benchmark.
+func buildSeries(reports []Report, labels []string, window int) []series {
+	byKey := map[key]*series{}
+	for i, r := range reports {
+		for _, e := range r.Entries {
+			if e.NsPerOp <= 0 {
+				continue
+			}
+			k := key{e.Name, e.Procs}
+			s := byKey[k]
+			if s == nil {
+				s = &series{key: k}
+				byKey[k] = s
+			}
+			p := point{label: labels[i], ns: e.NsPerOp, allocs: -1}
+			if a, ok := e.allocs(); ok {
+				p.allocs = a
+			}
+			s.points = append(s.points, p)
+		}
+	}
+	out := make([]series, 0, len(byKey))
+	for _, s := range byKey {
+		ns := make([]float64, len(s.points))
+		for i, p := range s.points {
+			ns[i] = p.ns
+		}
+		s.best = ns[0]
+		for _, v := range ns {
+			if v < s.best {
+				s.best = v
+			}
+		}
+		s.roll = make([]float64, len(ns))
+		for i := range ns {
+			lo := i + 1 - window
+			if lo < 0 {
+				lo = 0
+			}
+			s.roll[i] = median(ns[lo : i+1])
+		}
+		s.median = s.roll[len(s.roll)-1]
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.name != out[j].key.name {
+			return out[i].key.name < out[j].key.name
+		}
+		return out[i].key.procs < out[j].key.procs
+	})
+	return out
+}
+
+// median returns the middle value of vs (mean of the two middles when
+// even) — the same definition benchdiff applies.
+func median(vs []float64) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// fmtNs renders a ns/op figure with a unit a human scans fast.
+func fmtNs(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}
+
+// fmtAllocs renders allocs/op, "—" when never recorded.
+func fmtAllocs(v float64) string {
+	if v < 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.0f", v)
+}

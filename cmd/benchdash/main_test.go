@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeArtifacts seeds a history dir with three artifacts: DPKernel
+// improves then regresses, Steady is flat, LateComer appears mid-history
+// (its statistics must cover only its own runs, as in benchdiff).
+func writeArtifacts(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"BENCH_2026-01-01.json": `{"date":"2026-01-01","entries":[
+			{"name":"DPKernel","procs":1,"ns_per_op":1000,"allocs_per_op":4},
+			{"name":"Steady","procs":1,"ns_per_op":50,"allocs_per_op":0}]}`,
+		"BENCH_2026-01-02.json": `{"date":"2026-01-02","entries":[
+			{"name":"DPKernel","procs":1,"ns_per_op":800,"allocs_per_op":4},
+			{"name":"Steady","procs":1,"ns_per_op":50,"allocs_per_op":0},
+			{"name":"LateComer","procs":1,"ns_per_op":300}]}`,
+		"BENCH_2026-01-03.json": `{"date":"2026-01-03","entries":[
+			{"name":"DPKernel","procs":1,"ns_per_op":1200,"allocs_per_op":5},
+			{"name":"Steady","procs":1,"ns_per_op":50,"allocs_per_op":0},
+			{"name":"LateComer","procs":1,"ns_per_op":310}]}`,
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestBuildSeriesMirrorsBenchdiff(t *testing.T) {
+	reports, labels, err := readHistory(writeArtifacts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := buildSeries(reports, labels, 8)
+	byName := map[string]series{}
+	for _, s := range all {
+		byName[s.key.name] = s
+	}
+	dp := byName["DPKernel"]
+	if dp.best != 800 {
+		t.Errorf("DPKernel best = %v, want 800", dp.best)
+	}
+	if dp.median != 1000 {
+		t.Errorf("DPKernel median = %v, want 1000 (median of 1000,800,1200)", dp.median)
+	}
+	lc := byName["LateComer"]
+	if len(lc.points) != 2 {
+		t.Fatalf("LateComer has %d points, want 2 (only the artifacts that carry it)", len(lc.points))
+	}
+	if lc.median != 305 {
+		t.Errorf("LateComer median = %v, want 305", lc.median)
+	}
+	if lc.points[0].allocs != -1 {
+		t.Errorf("LateComer without allocs data must record -1, got %v", lc.points[0].allocs)
+	}
+	// A window of 2 must drop DPKernel's first run from the median.
+	all2 := buildSeries(reports, labels, 2)
+	for _, s := range all2 {
+		if s.key.name == "DPKernel" && s.median != 1000 {
+			t.Errorf("DPKernel window-2 median = %v, want 1000 (median of 800,1200)", s.median)
+		}
+	}
+}
+
+func TestRunWritesDeterministicDashboard(t *testing.T) {
+	dir := writeArtifacts(t)
+	render := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-dir", dir, "-out", "-"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	page := render()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "DPKernel", "Steady", "LateComer",
+		"best-ever", "rolling median", "2026-01-01", "2026-01-03",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if page != render() {
+		t.Error("dashboard bytes differ across identical runs")
+	}
+	// File mode writes the same bytes.
+	outPath := filepath.Join(t.TempDir(), "index.html")
+	if err := run([]string{"-dir", dir, "-out", outPath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != page {
+		t.Error("file output differs from stdout output")
+	}
+}
+
+func TestRunRejectsEmptyHistory(t *testing.T) {
+	if err := run([]string{"-dir", t.TempDir(), "-out", "-"}, io.Discard); err == nil {
+		t.Fatal("empty history accepted")
+	}
+	if err := run([]string{"-dir", "nope", "-window", "0", "-out", "-"}, io.Discard); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+}

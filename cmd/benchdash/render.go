@@ -1,0 +1,242 @@
+package main
+
+import (
+	"fmt"
+	"html"
+	"strings"
+)
+
+// Chart geometry: every sparkline shares one frame so the page scans as a
+// grid of comparable pictures.
+const (
+	chartW  = 640.0
+	chartH  = 96.0
+	padX    = 6.0
+	padY    = 8.0
+	allocsW = 180.0
+)
+
+// driftThreshold mirrors benchdiff's default -threshold: a latest run more
+// than this fraction above the rolling median is flagged as drift.
+const driftThreshold = 0.20
+
+// render builds the whole dashboard page. Output bytes are a pure function
+// of the series — no timestamps, no environment — so regeneration without
+// new artifacts leaves the committed file untouched.
+func render(all []series, labels []string, window int) string {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>chanalloc benchmark trajectory</title>
+<style>
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #1a1a2e; }
+  h1 { font-size: 1.4rem; } h1, h2 { font-weight: 600; }
+  .meta { color: #667; margin-bottom: 1.5rem; }
+  table { border-collapse: collapse; width: 100%; margin-bottom: 2rem; }
+  th, td { text-align: right; padding: .25rem .6rem; border-bottom: 1px solid #e3e3ee; white-space: nowrap; }
+  th:first-child, td:first-child { text-align: left; }
+  th { color: #556; font-weight: 600; }
+  td a { color: inherit; text-decoration: none; }
+  .best { color: #117733; font-weight: 600; }
+  .drift { color: #cc3311; font-weight: 600; }
+  .card { margin-bottom: 1.6rem; }
+  .card h2 { font-size: 1rem; margin: 0 0 .2rem 0; }
+  .card .stats { color: #667; font-size: .85rem; margin-bottom: .3rem; }
+  svg { background: #fafaff; border: 1px solid #e3e3ee; border-radius: 4px; }
+  .charts { display: flex; gap: .8rem; align-items: flex-start; flex-wrap: wrap; }
+  .axis { color: #99a; font-size: .75rem; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&b, "<h1>chanalloc benchmark trajectory</h1>\n")
+	fmt.Fprintf(&b, `<p class="meta">%d benchmark(s) over %d committed artifact(s) (%s … %s) — best-ever and rolling-median(window %d) mirror <code>benchdiff -history</code>. Blue: ns/op. Orange dashes: rolling median. Green line: best-ever. Gray (right panel): allocs/op.</p>`,
+		len(all), len(labels), html.EscapeString(labels[0]), html.EscapeString(labels[len(labels)-1]), window)
+	b.WriteString("\n")
+
+	renderSummary(&b, all)
+	for _, s := range all {
+		renderCard(&b, s)
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// anchor is the benchmark's stable fragment id.
+func anchor(k key) string {
+	if k.procs > 1 {
+		return fmt.Sprintf("%s-%d", k.name, k.procs)
+	}
+	return k.name
+}
+
+// displayName shows the procs suffix only when it disambiguates.
+func displayName(k key) string {
+	if k.procs > 1 {
+		return fmt.Sprintf("%s (procs=%d)", k.name, k.procs)
+	}
+	return k.name
+}
+
+// renderSummary writes the at-a-glance table: latest vs best vs median,
+// with benchdiff's drift rule applied as colour.
+func renderSummary(b *strings.Builder, all []series) {
+	b.WriteString("<table>\n<tr><th>benchmark</th><th>runs</th><th>latest ns/op</th><th>best</th><th>median</th><th>Δ vs median</th><th>allocs/op</th></tr>\n")
+	for _, s := range all {
+		last := s.points[len(s.points)-1]
+		delta := 0.0
+		if s.median > 0 {
+			delta = last.ns/s.median - 1
+		}
+		cls := ""
+		switch {
+		case delta > driftThreshold:
+			cls = ` class="drift"`
+		case last.ns <= s.best:
+			cls = ` class="best"`
+		}
+		fmt.Fprintf(b, `<tr><td><a href="#%s">%s</a></td><td>%d</td><td%s>%s</td><td>%s</td><td>%s</td><td%s>%+.1f%%</td><td>%s</td></tr>`,
+			html.EscapeString(anchor(s.key)), html.EscapeString(displayName(s.key)),
+			len(s.points), cls, fmtNs(last.ns), fmtNs(s.best), fmtNs(s.median),
+			cls, delta*100, fmtAllocs(last.allocs))
+		b.WriteString("\n")
+	}
+	b.WriteString("</table>\n")
+}
+
+// renderCard writes one benchmark's sparkline pair (ns/op + allocs/op).
+func renderCard(b *strings.Builder, s series) {
+	last := s.points[len(s.points)-1]
+	fmt.Fprintf(b, `<div class="card" id="%s">`+"\n", html.EscapeString(anchor(s.key)))
+	fmt.Fprintf(b, "<h2>%s</h2>\n", html.EscapeString(displayName(s.key)))
+	fmt.Fprintf(b, `<div class="stats">latest %s · best %s · median %s · %d run(s)</div>`+"\n",
+		fmtNs(last.ns), fmtNs(s.best), fmtNs(s.median), len(s.points))
+	b.WriteString(`<div class="charts">` + "\n")
+	renderNsChart(b, s)
+	renderAllocsChart(b, s)
+	b.WriteString("</div>\n</div>\n")
+}
+
+// yScale maps a value into chart coordinates for the [lo, hi] range.
+func yScale(v, lo, hi float64) float64 {
+	if hi <= lo {
+		return chartH / 2
+	}
+	return padY + (chartH-2*padY)*(hi-v)/(hi-lo)
+}
+
+// xAt spreads n points across the chart width.
+func xAt(i, n int, width float64) float64 {
+	if n <= 1 {
+		return width / 2
+	}
+	return padX + (width-2*padX)*float64(i)/float64(n-1)
+}
+
+// polyline renders a point list as an SVG polyline attribute value.
+func polyline(xs, ys []float64) string {
+	parts := make([]string, len(xs))
+	for i := range xs {
+		parts[i] = fmt.Sprintf("%.1f,%.1f", xs[i], ys[i])
+	}
+	return strings.Join(parts, " ")
+}
+
+// renderNsChart draws the ns/op trajectory with the rolling-median dashes
+// and the best-ever line, every sample carrying a hover tooltip.
+func renderNsChart(b *strings.Builder, s series) {
+	lo, hi := s.best, s.points[0].ns
+	for i, p := range s.points {
+		if p.ns > hi {
+			hi = p.ns
+		}
+		if r := s.roll[i]; r > hi {
+			hi = r
+		}
+	}
+	// Breathing room so flat series do not sit on the frame.
+	span := hi - lo
+	if span == 0 {
+		span = hi * 0.1
+		if span == 0 {
+			span = 1
+		}
+	}
+	lo -= span * 0.08
+	hi += span * 0.08
+
+	n := len(s.points)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	rys := make([]float64, n)
+	for i, p := range s.points {
+		xs[i] = xAt(i, n, chartW)
+		ys[i] = yScale(p.ns, lo, hi)
+		rys[i] = yScale(s.roll[i], lo, hi)
+	}
+	fmt.Fprintf(b, `<svg width="%.0f" height="%.0f" role="img" aria-label="%s ns/op trend">`+"\n",
+		chartW, chartH, html.EscapeString(displayName(s.key)))
+	bestY := yScale(s.best, lo, hi)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#117733" stroke-width="1"><title>best-ever %s</title></line>`+"\n",
+		padX, bestY, chartW-padX, bestY, fmtNs(s.best))
+	fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="#ee7733" stroke-width="1.2" stroke-dasharray="4 3"><title>rolling median</title></polyline>`+"\n",
+		polyline(xs, rys))
+	fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="#3366cc" stroke-width="1.6"/>`+"\n", polyline(xs, ys))
+	for i, p := range s.points {
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="#3366cc"><title>%s: %s</title></circle>`+"\n",
+			xs[i], ys[i], html.EscapeString(p.label), fmtNs(p.ns))
+	}
+	b.WriteString("</svg>\n")
+}
+
+// renderAllocsChart draws the allocs/op companion panel; absent samples
+// (artifacts without -benchmem data) break the line rather than faking a
+// zero.
+func renderAllocsChart(b *strings.Builder, s series) {
+	lo, hi := 0.0, 1.0
+	any := false
+	for _, p := range s.points {
+		if p.allocs < 0 {
+			continue
+		}
+		if !any || p.allocs > hi {
+			hi = p.allocs
+		}
+		any = true
+	}
+	fmt.Fprintf(b, `<svg width="%.0f" height="%.0f" role="img" aria-label="%s allocs/op trend">`+"\n",
+		allocsW, chartH, html.EscapeString(displayName(s.key)))
+	if !any {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" class="axis" text-anchor="middle" fill="#99a">no allocs data</text>`+"\n",
+			allocsW/2, chartH/2)
+		b.WriteString("</svg>\n")
+		return
+	}
+	hi *= 1.1
+	if hi == 0 {
+		hi = 1
+	}
+	n := len(s.points)
+	var run []string
+	flush := func() {
+		if len(run) > 1 {
+			fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="#778" stroke-width="1.4"/>`+"\n",
+				strings.Join(run, " "))
+		}
+		run = nil
+	}
+	for i, p := range s.points {
+		if p.allocs < 0 {
+			flush()
+			continue
+		}
+		x, y := xAt(i, n, allocsW), yScale(p.allocs, lo, hi)
+		run = append(run, fmt.Sprintf("%.1f,%.1f", x, y))
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="2" fill="#778"><title>%s: %s allocs/op</title></circle>`+"\n",
+			x, y, html.EscapeString(p.label), fmtAllocs(p.allocs))
+	}
+	flush()
+	b.WriteString("</svg>\n")
+}

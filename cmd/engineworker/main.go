@@ -56,8 +56,18 @@ func run(args []string, out io.Writer) error {
 	authToken := fs.String("auth-token", "",
 		"shared secret checked during the handshake; must match the coordinator's -auth-token")
 	tasks := fs.Bool("tasks", false, "list the tasks this worker can serve, then exit")
+	metrics := fs.String("metrics", "",
+		"serve /metrics, /metrics.json, /trace and /debug/pprof on this address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics != "" {
+		ms, err := chanalloc.ServeObs(*metrics)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintln(os.Stderr, "engineworker: metrics on", ms.Addr)
 	}
 	if *tasks {
 		for _, name := range chanalloc.EngineTaskNames() {

@@ -171,6 +171,19 @@ func main() {
 	}
 }
 
+// writeTraceFile dumps the global trace ring as NDJSON to path.
+func writeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := chanalloc.WriteObsTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // splitAddrs parses a comma-separated -addrs list: entries are trimmed of
 // surrounding whitespace, and an empty entry — a doubled, leading or
 // trailing comma — is a loud configuration error instead of a silently
@@ -207,8 +220,27 @@ func run(args []string, out io.Writer) error {
 	window := fs.Int("window", 8, "outstanding jobs per cluster worker (-backend cluster; 1 = lock-step)")
 	joinWait := fs.Duration("join-wait", 30*time.Second, "how long a cluster batch waits while no worker is joined")
 	authToken := fs.String("auth-token", "", "shared secret checked in every worker handshake")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (empty disables)")
+	traceOut := fs.String("trace-out", "", "write the structured trace ring as NDJSON to this file when the run ends")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		ms, err := chanalloc.ServeObs(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintln(os.Stderr, "sweep: metrics on", ms.Addr)
+	}
+	if *traceOut != "" {
+		// Deferred so a failing suite still dumps its trace — the failure
+		// is exactly when the dispatch/requeue/eviction record matters.
+		defer func() {
+			if err := writeTraceFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: writing trace:", err)
+			}
+		}()
 	}
 	if *listen != "" {
 		fmt.Fprintf(out, "sweep: protocol v%d, serving %v on %s\n",

@@ -280,7 +280,13 @@ func (oe *OrbitEnumerator) enumerate(pinned []int) ([]CanonicalNE, error) {
 			return nil, fmt.Errorf("%s: pinned digit %d out of range for user %d", oe.ErrPrefix, ri, u)
 		}
 		if p := pred[u]; p >= 0 && idx[p] > ri {
-			return nil, nil // non-canonical prefix: empty shard
+			// Non-canonical prefix: empty shard. Its whole subgrid is
+			// decided by some canonical representative's orbit — exactly
+			// the profiles symmetry reduction saves.
+			if grid, ok := shardGridSize(sizes, len(pinned)); ok {
+				mOrbitSkips.Add(uint64(grid))
+			}
+			return nil, nil
 		}
 		idx[u] = ri
 		if err := a.SetRow(u, tables[u][ri]); err != nil {
@@ -292,6 +298,7 @@ func (oe *OrbitEnumerator) enumerate(pinned []int) ([]CanonicalNE, error) {
 	ws.ResetScreenCache(users, oe.Channels)
 	var out []CanonicalNE
 	var innerErr error
+	visited := uint64(0)
 	err = orbitWalk(a, idx, len(pinned), sizes, pred,
 		func(u, ri int) []int { return tables[u][ri] },
 		oe.ErrPrefix,
@@ -315,6 +322,8 @@ func (oe *OrbitEnumerator) enumerate(pinned []int) ([]CanonicalNE, error) {
 			}
 		},
 		func() bool {
+			visited++
+			ws.obs.orbitProfiles++
 			if oe.View.ScreenedNEIncremental(ws, a, 0, oe.Budgets, oe.Eps) {
 				orbit, oerr := orbitSizeOf(idx, classes)
 				if oerr != nil {
@@ -331,7 +340,30 @@ func (oe *OrbitEnumerator) enumerate(pinned []int) ([]CanonicalNE, error) {
 	if innerErr != nil {
 		return nil, innerErr
 	}
+	// Profiles this shard covered minus profiles it had to visit is the
+	// symmetry saving; shards whose full subgrid overflows int64 (far past
+	// any enumerable cap) just skip the metric.
+	if grid, ok := shardGridSize(sizes, len(pinned)); ok && uint64(grid) >= visited {
+		mOrbitSkips.Add(uint64(grid) - visited)
+	}
 	return out, nil
+}
+
+// shardGridSize is the unreduced profile count of an enumeration shard:
+// the product of the unpinned digits' alphabet sizes. ok=false on int64
+// overflow.
+func shardGridSize(sizes []int, pinned int) (int64, bool) {
+	total := int64(1)
+	for _, s := range sizes[pinned:] {
+		if s == 0 {
+			return 0, true
+		}
+		if total > (1<<62)/int64(s) {
+			return 0, false
+		}
+		total *= int64(s)
+	}
+	return total, true
 }
 
 // CanonicalCount returns the number of canonical profiles the reduced walk

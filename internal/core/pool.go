@@ -18,21 +18,38 @@ type WorkspacePool struct {
 // Get and recycled thereafter.
 func NewWorkspacePool() *WorkspacePool {
 	wp := &WorkspacePool{}
-	wp.p.New = func() any { return NewWorkspace() }
+	wp.p.New = func() any {
+		ws := NewWorkspace()
+		ws.poolFresh = true
+		return ws
+	}
 	return wp
 }
 
-// Get borrows a workspace, creating one if the pool is empty.
+// Get borrows a workspace, creating one if the pool is empty. Hits (a
+// recycled workspace, the steady state) and misses (a fresh allocation)
+// feed the workspace_pool_* counters — the live view of whether a hot
+// path is really running allocation-free.
 func (wp *WorkspacePool) Get() *Workspace {
-	return wp.p.Get().(*Workspace)
+	ws := wp.p.Get().(*Workspace)
+	if ws.poolFresh {
+		ws.poolFresh = false
+		mPoolMisses.Inc()
+	} else {
+		mPoolHits.Inc()
+	}
+	return ws
 }
 
 // Put returns a workspace to the pool. The workspace must not be used after
 // Put; nil is ignored. Cached screen state is NOT reset here — every screen
 // consumer calls ResetScreenCache before a walk, and the DP slabs carry no
-// cross-call semantics.
+// cross-call semantics. Accumulated kernel counts are flushed to the
+// global obs counters on the way in, so pooled hot paths report without
+// paying a single atomic inside their loops.
 func (wp *WorkspacePool) Put(ws *Workspace) {
 	if ws != nil {
+		ws.FlushObs()
 		wp.p.Put(ws)
 	}
 }

@@ -216,6 +216,13 @@ type Workspace struct {
 	scEpoch   []int64 // walk epoch at which the user's state was computed
 	loadEpoch []int64 // walk epoch at which each channel's load last changed
 	epoch     int64   // current walk epoch (advanced by ScreenStep)
+
+	// obs accumulates kernel metrics locally (plain increments — the
+	// workspace is single-owner); FlushObs folds them into the global
+	// counters. poolFresh marks a workspace born inside WorkspacePool.Get
+	// so the pool can tell a miss from a recycled hit.
+	obs       wsCounts
+	poolFresh bool
 }
 
 // Incremental screen states.
@@ -389,6 +396,7 @@ func fillSharesFunc(ws *Workspace, rate ratefn.Func, ext []int, k int) {
 // old strict-> scan kept the first argmax, so "first x with equality" picks
 // the same x and rows are bit-identical to the former choice-slab form.
 func bestResponseDP(ws *Workspace, C, k int) ([]int, float64) {
+	ws.obs.dpCalls++
 	stride := ws.capK + 1
 	fC := ws.f[C*stride : C*stride+k+1]
 	for b := range fC {
@@ -489,6 +497,7 @@ func (rv *RateView) ScreenedNE(ws *Workspace, a *Alloc, uniformK int, budgets []
 			continue
 		}
 		if rv.MovedRowValue(a, i, from, to) > rv.UtilityOf(a, i)+eps {
+			ws.obs.screenRejects++
 			return false
 		}
 		if rv.deviates(ws, a, i, k, eps) {
@@ -508,6 +517,7 @@ func (rv *RateView) ScreenedNE(ws *Workspace, a *Alloc, uniformK int, budgets []
 			return false
 		}
 	}
+	ws.obs.screenAccepts++
 	return true
 }
 
@@ -603,6 +613,8 @@ func (rv *RateView) ScreenedNEIncremental(ws *Workspace, a *Alloc, uniformK int,
 	// users, so checking them out of order cannot change it.
 	for i := 0; i < users; i++ {
 		if ws.scState[i] == screenReject && ws.rejectWitnessFresh(a, i) {
+			ws.obs.screenCacheHits++
+			ws.obs.screenRejects++
 			return false
 		}
 	}
@@ -617,6 +629,8 @@ func (rv *RateView) ScreenedNEIncremental(ws *Workspace, a *Alloc, uniformK int,
 		switch ws.scState[i] {
 		case screenReject:
 			if ws.rejectWitnessFresh(a, i) {
+				ws.obs.screenCacheHits++
+				ws.obs.screenRejects++
 				return false
 			}
 			from, to, ok = rv.ScreenSingleMoves(a, i, k, eps)
@@ -634,6 +648,7 @@ func (rv *RateView) ScreenedNEIncremental(ws *Workspace, a *Alloc, uniformK int,
 			ws.scState[i] = screenReject
 			ws.scFrom[i], ws.scTo[i] = from, to
 			ws.scEpoch[i] = ws.epoch
+			ws.obs.screenRejects++
 			return false
 		}
 		// The DP fallback's verdict depends on every channel load and is
@@ -656,5 +671,6 @@ func (rv *RateView) ScreenedNEIncremental(ws *Workspace, a *Alloc, uniformK int,
 			return false
 		}
 	}
+	ws.obs.screenAccepts++
 	return true
 }

@@ -268,6 +268,14 @@ func bestResponseSweep(g Game, a *core.Alloc, cfg config, preQuiet []bool) (Resu
 			break
 		}
 	}
+	// Metrics are a side channel: three atomic adds per run, plus a flush
+	// of the workspace-local kernel counts so injected (non-pooled)
+	// workspaces report too. Flushing zeroes the counts, so the pool's own
+	// flush on Put stays a no-op.
+	mRuns.Inc()
+	mRounds.Add(uint64(res.Rounds))
+	mMoves.Add(uint64(res.Moves))
+	ws.FlushObs()
 	return res, nil
 }
 

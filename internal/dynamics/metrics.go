@@ -1,0 +1,15 @@
+package dynamics
+
+import "github.com/multiradio/chanalloc/internal/obs"
+
+// Dynamics metrics: one atomic add per completed run (sweeps themselves
+// count in the workspace via the kernel counters). Warm-start skips are
+// the number Requilibrate exists to maximise — dp-calls saved per event —
+// so they get their own counter next to the totals.
+var (
+	mRuns          = obs.NewCounter("dynamics_runs_total")
+	mRounds        = obs.NewCounter("dynamics_rounds_total")
+	mMoves         = obs.NewCounter("dynamics_moves_total")
+	mRequilibrates = obs.NewCounter("dynamics_requilibrates_total")
+	mWarmSkips     = obs.NewCounter("dynamics_warm_skips_total")
+)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/multiradio/chanalloc/internal/hetero"
+	"github.com/multiradio/chanalloc/internal/obs"
 )
 
 // ReqResult reports a warm-started re-equilibration.
@@ -88,5 +89,8 @@ func Requilibrate(lg *hetero.LiveGame, opts ...Option) (ReqResult, error) {
 		return ReqResult{}, err
 	}
 	lg.MarkEquilibrated(res.Converged)
+	mRequilibrates.Inc()
+	mWarmSkips.Add(uint64(skipped))
+	obs.Emit("requilibrate", "", int64(res.Rounds), int64(res.Moves), int64(skipped))
 	return ReqResult{Result: res, WarmSkipped: skipped, Events: churn.Events}, nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/multiradio/chanalloc/internal/cluster"
+	"github.com/multiradio/chanalloc/internal/obs"
 )
 
 // Cluster is the membership-based Backend: instead of the coordinator
@@ -278,6 +279,7 @@ func (c *Cluster) admit(conn net.Conn) {
 	p.id = c.reg.Add(p.remote, tasks, func() error { return conn.Close() })
 	c.peers[p.id] = p
 	c.mu.Unlock()
+	mPeers.Inc()
 
 	// The reader is the peer's whole lifetime: when it returns — transport
 	// failure, eviction's conn.Close, coordinator teardown — the peer
@@ -290,6 +292,7 @@ func (c *Cluster) admit(conn net.Conn) {
 	delete(c.peers, p.id)
 	c.mu.Unlock()
 	c.reg.Remove(p.id)
+	mPeers.Dec()
 	conn.Close()
 	p.leave()
 }
@@ -302,6 +305,8 @@ func (c *Cluster) runMonitor() {
 		EvictAfter: c.evict,
 		Tick:       c.heartbeat / 2,
 		OnEvict: func(m cluster.Member) {
+			mEvictions.Inc()
+			obs.Emit("evict", m.Remote, m.ID, 0, 0)
 			c.noteErr(fmt.Errorf("%s: evicted after %v of silence", m.Remote, c.evict))
 		},
 	}
@@ -349,6 +354,7 @@ func (p *clusterPeer) read(dec *json.Decoder, reg *cluster.Registry) error {
 		switch m.Type {
 		case wireHeartbeat:
 			// The Touch was the payload.
+			mHeartbeats.Inc()
 		case wireResult:
 			p.deliver(&m)
 		default:
@@ -394,6 +400,9 @@ func (p *clusterPeer) claim(job int) bool {
 		return false
 	}
 	p.inflight[job] = time.Now()
+	mDispatched.Inc()
+	mInflight.Inc()
+	mWindowDepth.Observe(int64(len(p.inflight)))
 	return true
 }
 
@@ -413,6 +422,8 @@ func (p *clusterPeer) deliver(m *wireMsg) {
 	}
 	delete(p.inflight, m.Job)
 	p.mu.Unlock()
+	mCompleted.Inc()
+	mInflight.Dec()
 	// The job's credit is in the semaphore by construction (acquire happens
 	// before claim, claim before send, send before any result), so this
 	// never blocks; the default arm is belt and braces.
@@ -441,6 +452,7 @@ func (p *clusterPeer) leave() {
 	p.inflight = map[int]time.Time{}
 	goneCh := p.goneCh
 	p.mu.Unlock()
+	mInflight.Add(-int64(len(jobs)))
 	if b != nil {
 		b.requeue(jobs)
 	}
@@ -477,6 +489,7 @@ type clusterBatch struct {
 // whole batch.
 func (b *clusterBatch) complete(m *wireMsg, took time.Duration) {
 	b.jobTimes[m.Job] = took
+	mDispatchLat.Observe(int64(took))
 	if m.Error != "" {
 		b.errs[m.Job] = m.Error
 		b.failed[m.Job] = true
@@ -491,10 +504,15 @@ func (b *clusterBatch) complete(m *wireMsg, took time.Duration) {
 
 // requeue returns a dead peer's in-flight jobs to the queue.
 func (b *clusterBatch) requeue(jobs []int) {
+	if len(jobs) == 0 {
+		return
+	}
 	for _, job := range jobs {
 		b.queue <- job
 		b.requeues.Add(1)
 	}
+	mRequeues.Add(uint64(len(jobs)))
+	obs.Emit("requeue", b.task, int64(len(jobs)), 0, 0)
 }
 
 // wakeDispatcher nudges the membership watcher (coalescing send).
@@ -529,6 +547,7 @@ func (c *Cluster) RunTask(task string, params json.RawMessage, n int, opts ...Op
 	if n == 0 {
 		return []json.RawMessage{}, stats, nil
 	}
+	mBatches.Inc()
 
 	// One batch at a time: peers hold a single active-batch slot.
 	c.batchMu.Lock()
@@ -561,6 +580,7 @@ func (c *Cluster) RunTask(task string, params json.RawMessage, n int, opts ...Op
 	workers, err := c.dispatch(b)
 	stats.Workers = workers
 	stats.Wall = time.Since(start)
+	obs.Emit("batch", task, int64(n), int64(workers), 0)
 	stats.JobTimes = b.jobTimes
 	stats.Requeues = int(b.requeues.Load())
 	if err != nil {
@@ -697,7 +717,9 @@ func (c *Cluster) runPeer(p *clusterPeer, b *clusterBatch) {
 			Task:   b.task,
 			Params: b.params,
 			Seed:   JobSeed(b.seed, job),
-		}); err != nil {
+		}); err == nil {
+			obs.Emit("dispatch", p.remote, int64(job), 0, 0)
+		} else {
 			// Sever the transport so cleanup funnels through the single
 			// leave path: the failed connection's reader exits, leave()
 			// requeues the just-claimed job with everything else in flight,

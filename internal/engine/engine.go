@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/multiradio/chanalloc/internal/des"
+	"github.com/multiradio/chanalloc/internal/obs"
 )
 
 // Stats reports how a batch executed. Timings describe the run; they are
@@ -117,6 +118,8 @@ func Map[T any](n int, fn func(job int, rng *des.RNG) (T, error), opts ...Option
 		return []T{}, stats, nil
 	}
 
+	mBatches.Inc()
+	mDispatched.Add(uint64(n))
 	start := time.Now()
 	results := make([]T, n)
 	errs := make([]error, n)
@@ -134,7 +137,10 @@ func Map[T any](n int, fn func(job int, rng *des.RNG) (T, error), opts ...Option
 				}
 				jobStart := time.Now()
 				out, err := fn(job, des.NewRNG(JobSeed(cfg.seed, job)))
-				stats.JobTimes[job] = time.Since(jobStart)
+				took := time.Since(jobStart)
+				stats.JobTimes[job] = took
+				mCompleted.Inc()
+				mDispatchLat.Observe(int64(took))
 				if err != nil {
 					errs[job] = err
 					continue
@@ -145,6 +151,7 @@ func Map[T any](n int, fn func(job int, rng *des.RNG) (T, error), opts ...Option
 	}
 	wg.Wait()
 	stats.Wall = time.Since(start)
+	obs.Emit("batch", "inprocess", int64(n), int64(cfg.workers), 0)
 	for job, err := range errs {
 		if err != nil {
 			return nil, stats, fmt.Errorf("engine: job %d: %w", job, err)

@@ -252,6 +252,7 @@ func (s *Socket) RunTask(task string, params json.RawMessage, n int, opts ...Opt
 						peerErrs[w] = err
 						queue <- job
 						requeues.Add(1)
+						mRequeues.Inc()
 						if redials <= 0 {
 							return
 						}
@@ -281,6 +282,7 @@ func (s *Socket) RunTask(task string, params json.RawMessage, n int, opts ...Opt
 					peer = nil
 					queue <- job
 					requeues.Add(1)
+					mRequeues.Inc()
 					if redials <= 0 {
 						return
 					}

@@ -1,0 +1,33 @@
+package live
+
+import (
+	"io"
+
+	"github.com/multiradio/chanalloc/internal/obs"
+)
+
+// Live-service metrics: every increment sits on the per-event path (a
+// re-equilibration is milliseconds) or the per-frame write, so plain
+// atomic counters cost nothing measurable. Nothing here feeds back into
+// event handling — transcripts stay byte-identical with metrics on.
+var (
+	mEvents     = obs.NewCounter("live_events_total")
+	mJoins      = obs.NewCounter("live_joins_total")
+	mLeaves     = obs.NewCounter("live_leaves_total")
+	mBudgetOps  = obs.NewCounter("live_budget_ops_total")
+	mStatsOps   = obs.NewCounter("live_stats_ops_total")
+	mErrors     = obs.NewCounter("live_errors_total")
+	mFrameBytes = obs.NewCounter("live_frame_bytes_total")
+	mConvRounds = obs.NewHistogram("live_convergence_rounds", obs.SmallCountBuckets)
+	mEventLat   = obs.NewHistogram("live_event_latency_ns", obs.LatencyBucketsNS)
+)
+
+// frameCounter counts response bytes as they hit the transport. It writes
+// through unmodified — the counter observes the stream, never shapes it.
+type frameCounter struct{ w io.Writer }
+
+func (f frameCounter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	mFrameBytes.Add(uint64(n))
+	return n, err
+}

@@ -91,4 +91,10 @@ type Stats struct {
 	WarmSkipped int `json:"warm_skipped"`
 	Users       int `json:"users"`
 	Radios      int `json:"radios"`
+	// Obs embeds a flattened snapshot of the process-global metrics
+	// registry when the server runs with Config.EmitObs (additive, off by
+	// default: pinned golden transcripts never carry it). Counters and
+	// gauges map name → value; histograms flatten to name_count/name_sum.
+	// Go marshals the map key-sorted, so the field itself is diffable.
+	Obs map[string]int64 `json:"obs,omitempty"`
 }

@@ -8,10 +8,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/multiradio/chanalloc/internal/core"
 	"github.com/multiradio/chanalloc/internal/dynamics"
 	"github.com/multiradio/chanalloc/internal/hetero"
+	"github.com/multiradio/chanalloc/internal/obs"
 	"github.com/multiradio/chanalloc/internal/ratefn"
 )
 
@@ -32,6 +34,15 @@ type Config struct {
 	// Eps and MaxRounds override the dynamics defaults when positive.
 	Eps       float64
 	MaxRounds int
+	// Totals, when non-nil, aggregates session statistics across every
+	// server sharing it (a listening daemon building one server per
+	// connection); the "stats" op then reports the lifetime totals. Nil
+	// keeps per-server stats — the byte-pinned transcript behaviour.
+	Totals *Totals
+	// EmitObs embeds a flattened snapshot of the process-global metrics
+	// registry in each stats frame. Off by default so pinned transcripts
+	// never carry runtime-dependent bytes.
+	EmitObs bool
 }
 
 // Server owns one live game and speaks the NDJSON protocol over any
@@ -70,12 +81,20 @@ func NewServer(cfg Config) (*Server, error) {
 // Game exposes the underlying live game (read-only for callers).
 func (s *Server) Game() *hetero.LiveGame { return s.lg }
 
-// Stats returns a copy of the cumulative session statistics.
+// Stats returns a copy of the cumulative session statistics — this
+// server's own, or the shared lifetime totals when Config.Totals is set.
+// Users and Radios always describe this server's current game.
 func (s *Server) Stats() Stats {
 	out := s.stats
+	if s.cfg.Totals != nil {
+		out = s.cfg.Totals.Snapshot()
+	}
 	out.Users = s.lg.Users()
 	if a := s.lg.Alloc(); a != nil {
 		out.Radios = a.TotalRadios()
+	}
+	if s.cfg.EmitObs {
+		out.Obs = obs.Flat(obs.Snapshot())
 	}
 	return out
 }
@@ -86,7 +105,7 @@ func (s *Server) Stats() Stats {
 // line is a client bug worth reporting, not a reason to drop a live
 // allocation service.
 func (s *Server) Serve(r io.Reader, w io.Writer) error {
-	enc := json.NewEncoder(w)
+	enc := json.NewEncoder(frameCounter{w})
 	if err := enc.Encode(Hello{
 		Type:     "hello",
 		Version:  ProtocolVersion,
@@ -124,31 +143,44 @@ func (s *Server) Serve(r io.Reader, w io.Writer) error {
 // response frame. Mutation ops re-equilibrate before answering, so every
 // update frame describes a settled allocation.
 func (s *Server) Apply(req Request) Response {
+	start := time.Now()
 	var id hetero.UserID
+	delta := Stats{Events: 1}
 	switch req.Op {
 	case "stats":
+		mStatsOps.Inc()
 		st := s.Stats()
 		return Response{Type: "stats", Stats: &st}
 	case "join":
 		jid, err := s.lg.Join(req.Budget)
 		if err != nil {
+			mErrors.Inc()
 			return Response{Type: "error", Error: err.Error()}
 		}
 		id = jid
 		s.stats.Joins++
+		delta.Joins = 1
+		mJoins.Inc()
 	case "leave":
 		if err := s.lg.Leave(hetero.UserID(req.ID)); err != nil {
+			mErrors.Inc()
 			return Response{Type: "error", Error: err.Error()}
 		}
 		id = hetero.UserID(req.ID)
 		s.stats.Leaves++
+		delta.Leaves = 1
+		mLeaves.Inc()
 	case "budget":
 		if err := s.lg.SetBudget(hetero.UserID(req.ID), req.Budget); err != nil {
+			mErrors.Inc()
 			return Response{Type: "error", Error: err.Error()}
 		}
 		id = hetero.UserID(req.ID)
 		s.stats.BudgetOps++
+		delta.BudgetOps = 1
+		mBudgetOps.Inc()
 	default:
+		mErrors.Inc()
 		return Response{Type: "error", Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 
@@ -157,12 +189,21 @@ func (s *Server) Apply(req Request) Response {
 	res, err := dynamics.Requilibrate(s.lg, opts...)
 	core.Workspaces.Put(ws)
 	if err != nil {
+		mErrors.Inc()
 		return Response{Type: "error", Error: fmt.Sprintf("requilibrate: %v", err)}
 	}
 	s.stats.Events++
 	s.stats.Moves += res.Moves
 	s.stats.DPCalls += res.DPCalls
 	s.stats.WarmSkipped += res.WarmSkipped
+	delta.Moves = res.Moves
+	delta.DPCalls = res.DPCalls
+	delta.WarmSkipped = res.WarmSkipped
+	s.cfg.Totals.add(delta)
+	mEvents.Inc()
+	mConvRounds.Observe(int64(res.Rounds))
+	mEventLat.Observe(int64(time.Since(start)))
+	obs.Emit("churn", req.Op, int64(s.stats.Events), int64(id), 0)
 
 	u := &Update{
 		Event:       s.stats.Events,

@@ -1,0 +1,39 @@
+package live
+
+import "sync"
+
+// Totals aggregates session statistics across every server that shares it.
+// A listening allocd builds one fresh Server (one fresh game) per
+// connection, which used to reset the stats frame with each dial-in; wiring
+// one Totals through Config makes the "stats" op report service-lifetime
+// counters while Users/Radios still describe the answering connection's
+// game. A nil Totals (the stdin/stdout and churn paths) keeps the
+// per-server stats exactly as before, so golden transcripts are untouched.
+type Totals struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+// add folds one event's increments into the lifetime counters.
+func (t *Totals) add(d Stats) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.s.Events += d.Events
+	t.s.Joins += d.Joins
+	t.s.Leaves += d.Leaves
+	t.s.BudgetOps += d.BudgetOps
+	t.s.Moves += d.Moves
+	t.s.DPCalls += d.DPCalls
+	t.s.WarmSkipped += d.WarmSkipped
+	t.mu.Unlock()
+}
+
+// Snapshot returns a copy of the lifetime counters (Users/Radios zero —
+// they belong to a single game, not the aggregate).
+func (t *Totals) Snapshot() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.s
+}

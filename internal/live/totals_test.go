@@ -1,0 +1,113 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/multiradio/chanalloc/internal/ratefn"
+)
+
+func testConfig(workers int) Config {
+	return Config{
+		Channels: 4,
+		Rate:     ratefn.NewTDMA(54),
+		RateName: "tdma:54",
+		Workers:  workers,
+		Verify:   true,
+	}
+}
+
+// lastStats decodes the final stats frame of a transcript.
+func lastStats(t *testing.T, transcript []byte) Stats {
+	t.Helper()
+	var st *Stats
+	for _, line := range bytes.Split(transcript, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		if resp.Type == "stats" {
+			st = resp.Stats
+		}
+	}
+	if st == nil {
+		t.Fatal("no stats frame in transcript")
+	}
+	return *st
+}
+
+// TestTotalsAggregateAcrossServers pins the listener-stats fix: two
+// servers sharing one Totals (the per-connection shape of a listening
+// allocd) report lifetime counters in their stats frames, while Users
+// still describes each server's own game.
+func TestTotalsAggregateAcrossServers(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Totals = &Totals{}
+
+	serve := func(reqs []Request) Stats {
+		s, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		in := traceBytes(t, append(reqs, Request{Op: "stats"}, Request{Op: "bye"}))
+		if err := s.Serve(bytes.NewReader(in), &out); err != nil {
+			t.Fatal(err)
+		}
+		return lastStats(t, out.Bytes())
+	}
+
+	first := serve([]Request{{Op: "join", Budget: 2}, {Op: "join", Budget: 1}})
+	if first.Events != 2 || first.Joins != 2 {
+		t.Fatalf("first connection: got %+v, want 2 events / 2 joins", first)
+	}
+	if first.Users != 2 {
+		t.Fatalf("first connection: users = %d, want 2", first.Users)
+	}
+
+	second := serve([]Request{{Op: "join", Budget: 3}})
+	if second.Events != 3 || second.Joins != 3 {
+		t.Fatalf("second connection must see lifetime totals, got %+v", second)
+	}
+	if second.Users != 1 {
+		t.Fatalf("second connection: users = %d, want its own game's 1", second.Users)
+	}
+}
+
+// TestStatsObsFieldGated pins the protocol-additivity rule: without
+// EmitObs no stats frame carries an "obs" key (golden transcripts stay
+// byte-identical), with it the flattened registry snapshot appears.
+func TestStatsObsFieldGated(t *testing.T) {
+	run := func(emit bool) string {
+		cfg := testConfig(1)
+		cfg.EmitObs = emit
+		s, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := traceBytes(t, []Request{
+			{Op: "join", Budget: 2}, {Op: "stats"}, {Op: "bye"},
+		})
+		var out bytes.Buffer
+		if err := s.Serve(bytes.NewReader(in), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+
+	if got := run(false); strings.Contains(got, `"obs"`) {
+		t.Fatalf("obs field leaked into an ungated transcript:\n%s", got)
+	}
+	got := run(true)
+	if !strings.Contains(got, `"obs"`) {
+		t.Fatalf("EmitObs set but no obs field in stats frame:\n%s", got)
+	}
+	if !strings.Contains(got, "live_events_total") {
+		t.Fatalf("obs snapshot missing live counters:\n%s", got)
+	}
+}

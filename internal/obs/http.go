@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// WritePrometheus renders samples in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single series,
+// histograms as cumulative _bucket series plus _sum and _count.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	for _, s := range samples {
+		switch s.Kind {
+		case KindHistogram:
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", s.Name); err != nil {
+				return err
+			}
+			for _, b := range s.Buckets {
+				le := "+Inf"
+				if b.Le != BucketInf {
+					le = fmt.Sprintf("%d", b.Le)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, le, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", s.Name, s.Sum, s.Name, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", s.Name, s.Kind, s.Name, s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NewMux wires the exposition endpoints for one registry and trace ring:
+//
+//	/metrics            Prometheus text format
+//	/metrics.json       expvar-style JSON (the Snapshot, verbatim)
+//	/trace              the trace ring as NDJSON, oldest first
+//	/debug/pprof/...    net/http/pprof profiles (heap, CPU, goroutine...)
+//
+// Nil registry or trace default to the process-global Default instances.
+func NewMux(r *Registry, t *Trace) *http.ServeMux {
+	if r == nil {
+		r = Default
+	}
+	if t == nil {
+		t = DefaultTrace
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		_ = t.WriteNDJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a started metrics endpoint: the bound address (useful with
+// ":0") and a Close that tears the listener down.
+type Server struct {
+	Addr net.Addr
+	srv  *http.Server
+}
+
+// Close shuts the endpoint down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// ListenAndServe binds addr and serves the Default registry, trace ring
+// and pprof on it in a background goroutine. This is the implementation
+// of every daemon's -metrics flag: call it when the flag is non-empty,
+// defer Close, and the process is scrapeable for its whole lifetime.
+// Serving errors after a successful bind are dropped — an observability
+// endpoint must never take the daemon down with it.
+func ListenAndServe(addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(nil, nil)}
+	go func() { _ = srv.Serve(lis) }()
+	return &Server{Addr: lis.Addr(), srv: srv}, nil
+}

@@ -1,0 +1,241 @@
+// Package obs is the process-global observability spine: an
+// allocation-free metrics registry (atomic counters, gauges and
+// fixed-bucket histograms registered by name), a bounded ring-buffer trace
+// of structured events, and HTTP exposition (expvar-style JSON, Prometheus
+// text, pprof) behind the daemons' -metrics flag.
+//
+// Metrics are a SIDE CHANNEL only. Nothing in this package may feed back
+// into pinned output — golden transcripts, CSVs and frame bytes are
+// byte-identical with or without instrumentation, because instrumented
+// code only ever *writes* counters; no decision reads one. The registry
+// deliberately has no unregister or reset: a metric name is a stable
+// contract for scrapers, and Snapshot is stable-ordered so two snapshots
+// diff line by line.
+//
+// Hot-path discipline: Counter.Add and Gauge.Add are a single atomic
+// add — zero allocations, safe under -race from any number of goroutines.
+// Paths hotter than an atomic per operation (the kernel's DP and screen
+// loops run in the tens of nanoseconds) accumulate plain integers in their
+// per-goroutine Workspace and flush in bulk when the workspace returns to
+// its pool; see core.Workspace.FlushObs.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable
+// but unregistered; NewCounter returns a registered one.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depths, connection
+// counts, window occupancy).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc moves the gauge up by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec moves the gauge down by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Kind discriminates Snapshot samples.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Bucket is one histogram bucket in a Snapshot: the cumulative count of
+// observations <= Le. The last bucket's Le is BucketInf (+Inf).
+type Bucket struct {
+	Le    int64  `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// BucketInf is the Le of the catch-all bucket.
+const BucketInf = int64(^uint64(0) >> 1) // math.MaxInt64 without the import
+
+// Sample is one metric's state in a Snapshot. Value carries the counter
+// count or gauge level; histograms report Count/Sum/Buckets instead.
+type Sample struct {
+	Name    string   `json:"name"`
+	Kind    Kind     `json:"kind"`
+	Value   int64    `json:"value"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Registry holds named metrics. Registration is idempotent: asking for a
+// name that exists returns the existing metric, so package-level vars in
+// independent packages can share a catalogue. Asking for an existing name
+// with a different kind panics — that is a programming error worth dying
+// loudly for, not a runtime condition.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any // *Counter | *Gauge | *Histogram
+	names   []string       // sorted; rebuilt on registration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]any{}}
+}
+
+// Default is the process-global registry every daemon exposes.
+var Default = NewRegistry()
+
+// register installs make()'s metric under name unless one exists; the
+// existing metric must have the wanted dynamic type.
+func register[T any](r *Registry, name string, make func() T) T {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q (want [a-z0-9_:]+, starting with a letter)", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		t, ok := m.(T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %T, was %T", name, *new(T), m))
+		}
+		return t
+	}
+	m := make()
+	r.metrics[name] = m
+	r.names = append(r.names, name)
+	sort.Strings(r.names)
+	return m
+}
+
+// validName accepts prometheus-safe names: a letter followed by letters,
+// digits, underscores or colons.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, ch := range name {
+		switch {
+		case ch >= 'a' && ch <= 'z':
+		case ch == '_' || ch == ':':
+		case ch >= '0' && ch <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewCounter returns the registry's counter with this name, registering it
+// on first use.
+func (r *Registry) NewCounter(name string) *Counter {
+	return register(r, name, func() *Counter { return &Counter{} })
+}
+
+// NewGauge returns the registry's gauge with this name, registering it on
+// first use.
+func (r *Registry) NewGauge(name string) *Gauge {
+	return register(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// NewHistogram returns the registry's histogram with this name,
+// registering it with the given bucket upper bounds on first use (see
+// NewHistogramBuckets for the bound rules). Re-registration ignores the
+// bounds and returns the existing histogram.
+func (r *Registry) NewHistogram(name string, bounds []int64) *Histogram {
+	return register(r, name, func() *Histogram { return newHistogram(bounds) })
+}
+
+// NewCounter registers on the Default registry.
+func NewCounter(name string) *Counter { return Default.NewCounter(name) }
+
+// NewGauge registers on the Default registry.
+func NewGauge(name string) *Gauge { return Default.NewGauge(name) }
+
+// NewHistogram registers on the Default registry.
+func NewHistogram(name string, bounds []int64) *Histogram {
+	return Default.NewHistogram(name, bounds)
+}
+
+// Snapshot captures every registered metric, sorted by name — a stable,
+// diffable order regardless of registration order. Counters and gauges are
+// read with single atomic loads; histogram buckets are read bucket by
+// bucket without locking writers, so a snapshot taken mid-storm is a
+// near-consistent view — fine for monitoring, and pinned by no test.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(names))
+	for i, name := range names {
+		switch m := metrics[i].(type) {
+		case *Counter:
+			out = append(out, Sample{Name: name, Kind: KindCounter, Value: int64(m.Value())})
+		case *Gauge:
+			out = append(out, Sample{Name: name, Kind: KindGauge, Value: m.Value()})
+		case *Histogram:
+			s := Sample{Name: name, Kind: KindHistogram}
+			s.Count, s.Sum, s.Buckets = m.snapshot()
+			s.Value = int64(s.Count)
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Snapshot captures the Default registry.
+func Snapshot() []Sample { return Default.Snapshot() }
+
+// Flat renders a snapshot as name -> value pairs: counters and gauges map
+// to their value, histograms to <name>_count and <name>_sum. JSON-encoding
+// the map yields keys in sorted order (encoding/json sorts string keys),
+// so the flat form is as diffable as the snapshot — this is the shape the
+// allocd stats frame embeds.
+func Flat(samples []Sample) map[string]int64 {
+	out := make(map[string]int64, len(samples))
+	for _, s := range samples {
+		switch s.Kind {
+		case KindHistogram:
+			out[s.Name+"_count"] = int64(s.Count)
+			out[s.Name+"_sum"] = s.Sum
+		default:
+			out[s.Name] = s.Value
+		}
+	}
+	return out
+}

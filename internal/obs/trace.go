@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace entry. Kind names the event family
+// (dispatch, requeue, evict, churn, requilibrate, ...); Note carries the
+// human-facing detail (a peer address, a churn op); A, B and C are generic
+// numeric slots whose meaning per kind is documented in EXPERIMENTS.md's
+// trace grammar. TNS is the wall clock in Unix nanoseconds — a side
+// channel like every obs value, never part of pinned output.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	TNS  int64  `json:"t_ns"`
+	Kind string `json:"kind"`
+	Note string `json:"note,omitempty"`
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+	C    int64  `json:"c"`
+}
+
+// Trace is a bounded ring buffer of Events: Emit overwrites the oldest
+// entry once the ring is full, so a long-running daemon keeps the most
+// recent window without growing. Emit takes a mutex — it belongs on
+// event-scale paths (a dispatch, a churn event), not inside DP loops.
+type Trace struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever emitted; buf index is next % len(buf)
+}
+
+// DefaultTraceCap sizes DefaultTrace: enough for several full churn
+// benchmarks or cluster batches without ever exceeding ~1 MB.
+const DefaultTraceCap = 4096
+
+// NewTrace returns a ring holding the most recent capacity events;
+// capacity < 1 is clamped to 1.
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// DefaultTrace is the process-global ring the daemons expose at /trace.
+var DefaultTrace = NewTrace(DefaultTraceCap)
+
+// Emit appends one event to the ring, stamping sequence and wall clock.
+func (t *Trace) Emit(kind, note string, a, b, c int64) {
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = Event{
+		Seq: t.next, TNS: now, Kind: kind, Note: note, A: a, B: b, C: c,
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Emit appends to the DefaultTrace.
+func Emit(kind, note string, a, b, c int64) { DefaultTrace.Emit(kind, note, a, b, c) }
+
+// Events returns the retained events in sequence order (oldest first).
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.buf))
+	if t.next < n {
+		return append([]Event(nil), t.buf[:t.next]...)
+	}
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, t.buf[(t.next+i)%n])
+	}
+	return out
+}
+
+// Len reports how many events the ring currently retains.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.buf)) {
+		return int(t.next)
+	}
+	return len(t.buf)
+}
+
+// WriteNDJSON dumps the retained events, one JSON object per line, oldest
+// first — the same framing every other stream in this repository uses.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

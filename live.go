@@ -34,6 +34,9 @@ type (
 	LiveUpdate  = live.Update
 	// ChurnSpec parameterises a synthetic churn trace.
 	ChurnSpec = live.ChurnSpec
+	// LiveTotals aggregates session statistics across every server that
+	// shares it via LiveConfig.Totals (a listening daemon's connections).
+	LiveTotals = live.Totals
 )
 
 // LiveProtocolVersion identifies the live NDJSON frame schema.
