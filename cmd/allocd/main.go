@@ -25,25 +25,48 @@ package main
 
 import (
 	"bytes"
+	"crypto/tls"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	"github.com/multiradio/chanalloc"
 	"github.com/multiradio/chanalloc/internal/live"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, stopOnSignals()); err != nil {
 		fmt.Fprintln(os.Stderr, "allocd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// stopOnSignals returns a channel that closes on SIGINT/SIGTERM — the
+// graceful-shutdown trigger. A second signal while draining restores the
+// default disposition, so an impatient operator's repeat ^C still kills.
+func stopOnSignals() <-chan struct{} {
+	stop := make(chan struct{})
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "allocd: shutdown signal — draining (repeat to kill)")
+		signal.Stop(ch)
+		close(stop)
+	}()
+	return stop
+}
+
+// run is the testable entry: stop (may be nil) triggers graceful shutdown.
+func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("allocd", flag.ContinueOnError)
 	var (
 		mode      = fs.String("mode", "serve", "serve | churn | trace")
@@ -57,9 +80,19 @@ func run(args []string, stdout io.Writer) error {
 		churnSpec = fs.String("churn", "4,6,200,1", "churn spec channels,initial,events[,seed] (churn/trace modes)")
 		metrics   = fs.String("metrics", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (empty disables)")
 		obsStats  = fs.Bool("obs-stats", false, "embed a metrics snapshot in every stats frame (off keeps transcripts byte-pinned)")
+		drain     = fs.Duration("drain-timeout", 5*time.Second,
+			"after SIGINT/SIGTERM: stop accepting, send the in-flight connection a bye frame, and force-close it past this grace (<= 0 waits)")
+		tlsCert = fs.String("tls-cert", "", "serve -listen over TLS with this PEM certificate (requires -tls-key)")
+		tlsKey  = fs.String("tls-key", "", "PEM private key for -tls-cert")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		return errors.New("-tls-cert and -tls-key go together")
+	}
+	if *tlsCert != "" && (*mode != "serve" || *listen == "") {
+		return errors.New("-tls-cert needs -mode serve with -listen (stdio has no socket to wrap)")
 	}
 	if *metrics != "" {
 		ms, err := chanalloc.ServeObs(*metrics)
@@ -91,15 +124,31 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
+			if stop != nil {
+				// Stdio mode: the bye frame is the drain; closing stdin
+				// unblocks the scanner so Serve returns nil (exit 0).
+				go func() {
+					<-stop
+					srv.Interrupt()
+					os.Stdin.Close()
+				}()
+			}
 			return srv.Serve(os.Stdin, stdout)
 		}
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			return err
 		}
+		if *tlsCert != "" {
+			tlsCfg, err := chanalloc.EngineServerTLSConfig(*tlsCert, *tlsKey)
+			if err != nil {
+				return err
+			}
+			ln = tls.NewListener(ln, tlsCfg)
+		}
 		defer ln.Close()
 		fmt.Fprintln(os.Stderr, "allocd: listening on", ln.Addr())
-		return serveListener(ln, cfg)
+		return serveListener(ln, cfg, stop, *drain)
 	case "churn":
 		spec, err := live.ParseChurnSpec(*churnSpec)
 		if err != nil {
@@ -138,13 +187,54 @@ func run(args []string, stdout io.Writer) error {
 // totals, not just the dialing connection's. Connections are served
 // sequentially — the service is a deterministic reference implementation,
 // not a connection-scale daemon.
-func serveListener(ln net.Listener, cfg live.Config) error {
+//
+// When stop closes, the listener shuts down gracefully: no new
+// connections, the in-flight conversation gets a bye frame
+// (live.Server.Interrupt) and the drain grace to wind down, then its
+// connection is force-closed — the reap escalation idiom — and
+// serveListener returns nil.
+func serveListener(ln net.Listener, cfg live.Config, stop <-chan struct{}, drain time.Duration) error {
 	cfg.Totals = &live.Totals{}
+	var mu sync.Mutex
+	var curSrv *live.Server
+	var curConn net.Conn
+	var curDone chan struct{}
+	stopping := make(chan struct{})
+	if stop != nil {
+		go func() {
+			<-stop
+			close(stopping)
+			ln.Close()
+			mu.Lock()
+			srv, conn, done := curSrv, curConn, curDone
+			mu.Unlock()
+			if srv == nil {
+				return
+			}
+			srv.Interrupt() // bye frame; Serve writes nothing more
+			if drain > 0 {
+				select {
+				case <-done:
+					return
+				case <-time.After(drain):
+				}
+			}
+			conn.Close() // unblocks Serve's reader; it returns nil
+		}()
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			select {
+			case <-stopping:
+				return nil
+			default:
+			}
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
 			}
 			return err
 		}
@@ -153,10 +243,23 @@ func serveListener(ln net.Listener, cfg live.Config) error {
 			conn.Close()
 			return err
 		}
+		done := make(chan struct{})
+		mu.Lock()
+		curSrv, curConn, curDone = srv, conn, done
+		mu.Unlock()
 		if err := srv.Serve(conn, conn); err != nil {
 			fmt.Fprintln(os.Stderr, "allocd: connection:", err)
 		}
+		close(done)
+		mu.Lock()
+		curSrv, curConn, curDone = nil, nil, nil
+		mu.Unlock()
 		conn.Close()
+		select {
+		case <-stopping:
+			return nil
+		default:
+		}
 	}
 }
 

@@ -36,7 +36,7 @@ func TestChurnModeMatchesGolden(t *testing.T) {
 		err := run([]string{
 			"-mode", "churn", "-churn", goldenSpec, "-rate", "tdma:54",
 			"-workers", map[int]string{1: "1", 4: "4"}[workers],
-		}, &out)
+		}, &out, nil)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -81,7 +81,7 @@ func TestLoopbackServe(t *testing.T) {
 			RateName: "tdma:54",
 			Workers:  2,
 			Verify:   true,
-		})
+		}, nil, 0)
 	}()
 
 	conn, err := net.Dial("tcp", ln.Addr().String())
@@ -167,7 +167,7 @@ func TestMetricsScrapeDuringGoldenReplay(t *testing.T) {
 	}()
 
 	var out bytes.Buffer
-	err = run([]string{"-mode", "churn", "-churn", goldenSpec, "-rate", "tdma:54"}, &out)
+	err = run([]string{"-mode", "churn", "-churn", goldenSpec, "-rate", "tdma:54"}, &out, nil)
 	close(done)
 	<-scraping
 	if err != nil {
@@ -194,10 +194,10 @@ func TestMetricsScrapeDuringGoldenReplay(t *testing.T) {
 // consumes: exactly the spec's events, deterministically.
 func TestTraceMode(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run([]string{"-mode", "trace", "-churn", goldenSpec}, &a); err != nil {
+	if err := run([]string{"-mode", "trace", "-churn", goldenSpec}, &a, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-mode", "trace", "-churn", goldenSpec}, &b); err != nil {
+	if err := run([]string{"-mode", "trace", "-churn", goldenSpec}, &b, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -210,13 +210,13 @@ func TestTraceMode(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-mode", "warp"}, &out); err == nil {
+	if err := run([]string{"-mode", "warp"}, &out, nil); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
-	if err := run([]string{"-rate", "quantum:1"}, &out); err == nil {
+	if err := run([]string{"-rate", "quantum:1"}, &out, nil); err == nil {
 		t.Fatal("unknown rate accepted")
 	}
-	if err := run([]string{"-mode", "churn", "-churn", "bogus"}, &out); err == nil {
+	if err := run([]string{"-mode", "churn", "-churn", "bogus"}, &out, nil); err == nil {
 		t.Fatal("bad churn spec accepted")
 	}
 }

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/multiradio/chanalloc"
+	"github.com/multiradio/chanalloc/internal/live"
+)
+
+// TestServeListenerGracefulStop: closing the stop channel mid-conversation
+// makes the daemon send the in-flight connection a bye frame, stop
+// accepting, and return nil — the SIGINT/SIGTERM drain path minus the
+// signal.
+func TestServeListenerGracefulStop(t *testing.T) {
+	rate, err := chanalloc.ParseRate("tdma:54")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serveListener(ln, live.Config{
+			Channels: 4,
+			Rate:     rate,
+			RateName: "tdma:54",
+			Workers:  2,
+			Verify:   true,
+		}, stop, 2*time.Second)
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	readFrame := func() string {
+		t.Helper()
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if !sc.Scan() {
+			t.Fatalf("connection ended early: %v", sc.Err())
+		}
+		return sc.Text()
+	}
+	if f := readFrame(); !strings.Contains(f, `"type":"hello"`) {
+		t.Fatalf("first frame %q, want hello", f)
+	}
+	if _, err := conn.Write([]byte(`{"op":"join","budget":2}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if f := readFrame(); !strings.Contains(f, `"type":"update"`) {
+		t.Fatalf("join answered with %q, want update", f)
+	}
+
+	close(stop)
+	// The drain: the live conversation's next frame is the daemon's bye.
+	var resp live.Response
+	if err := json.Unmarshal([]byte(readFrame()), &resp); err != nil || resp.Type != "bye" {
+		t.Fatalf("post-stop frame: %v (err=%v), want bye", resp, err)
+	}
+	conn.Close() // the client hangs up; Serve returns and the daemon exits
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serveListener: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveListener did not return after stop + client hangup")
+	}
+	// No new connections after stop.
+	if c, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond); err == nil {
+		c.Close()
+		t.Fatal("listener still accepting after stop")
+	}
+}
+
+// TestServeListenerStopWhileIdle: stop with no connection in flight returns
+// promptly.
+func TestServeListenerStopWhileIdle(t *testing.T) {
+	rate, err := chanalloc.ParseRate("tdma:54")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serveListener(ln, live.Config{
+			Channels: 4, Rate: rate, RateName: "tdma:54", Workers: 1,
+		}, stop, time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serveListener: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle serveListener did not stop")
+	}
+}
+
+// TestServeListenerForceCloseAfterDrain: a client that ignores the bye frame
+// is force-closed once the drain grace expires, and the daemon still exits 0.
+func TestServeListenerForceCloseAfterDrain(t *testing.T) {
+	rate, err := chanalloc.ParseRate("tdma:54")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serveListener(ln, live.Config{
+			Channels: 4, Rate: rate, RateName: "tdma:54", Workers: 1,
+		}, stop, 50*time.Millisecond)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if !sc.Scan() || !strings.Contains(sc.Text(), "hello") {
+		t.Fatalf("no hello: %v", sc.Err())
+	}
+	close(stop)
+	// The client never hangs up; the 50ms drain grace expires and the
+	// daemon force-closes the connection.
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serveListener: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never force-closed the lingering connection")
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"crypto/tls"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/multiradio/chanalloc"
+	"github.com/multiradio/chanalloc/internal/live"
+)
+
+// TestServeListenerTLS: the live protocol over a TLS listener is the same
+// frames, encrypted — a client trusting the self-signed cert reads the
+// hello and converses normally.
+func TestServeListenerTLS(t *testing.T) {
+	dir := t.TempDir()
+	certPEM, keyPEM, err := chanalloc.GenerateSelfSignedCert(
+		[]string{"127.0.0.1"}, time.Now().Add(-time.Hour), time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	certFile := filepath.Join(dir, "cert.pem")
+	keyFile := filepath.Join(dir, "key.pem")
+	if err := os.WriteFile(certFile, certPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyFile, keyPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	srvCfg, err := chanalloc.EngineServerTLSConfig(certFile, keyFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliCfg, err := chanalloc.EngineClientTLSConfig(certFile, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rate, err := chanalloc.ParseRate("tdma:54")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := tls.NewListener(tcp, srvCfg)
+	defer ln.Close()
+	stop := make(chan struct{})
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serveListener(ln, live.Config{
+			Channels: 4, Rate: rate, RateName: "tdma:54", Workers: 1,
+		}, stop, time.Second)
+	}()
+
+	conn, err := tls.Dial("tcp", tcp.Addr().String(), cliCfg)
+	if err != nil {
+		t.Fatalf("TLS dial: %v", err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if !sc.Scan() || !strings.Contains(sc.Text(), `"type":"hello"`) {
+		t.Fatalf("no hello over TLS: %q (%v)", sc.Text(), sc.Err())
+	}
+	if _, err := conn.Write([]byte(`{"op":"join","budget":2}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() || !strings.Contains(sc.Text(), `"type":"update"`) {
+		t.Fatalf("join over TLS answered %q, want update", sc.Text())
+	}
+
+	// A plain-TCP client against the TLS listener gets no live frame.
+	plain, err := net.Dial("tcp", tcp.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.SetReadDeadline(time.Now().Add(2 * time.Second))
+	psc := bufio.NewScanner(plain)
+	if psc.Scan() && strings.Contains(psc.Text(), `"type":"hello"`) {
+		t.Fatal("plain dialer read a cleartext hello from the TLS listener")
+	}
+	plain.Close()
+
+	close(stop)
+	conn.Close()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serveListener: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("TLS serveListener did not stop")
+	}
+}
+
+// TestTLSFlagValidation: the flag pairing and mode constraints fail fast.
+func TestTLSFlagValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-tls-cert", "c.pem"}, &b, nil); err == nil ||
+		!strings.Contains(err.Error(), "go together") {
+		t.Fatalf("lone -tls-cert: %v", err)
+	}
+	if err := run([]string{"-tls-cert", "c.pem", "-tls-key", "k.pem", "-mode", "trace"}, &b, nil); err == nil ||
+		!strings.Contains(err.Error(), "-mode serve") {
+		t.Fatalf("TLS without a socket: %v", err)
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/multiradio/chanalloc"
 )
@@ -41,13 +43,30 @@ func main() {
 	// Stdio worker mode (spawned by a -backend process coordinator) still
 	// works for this binary; in a normal run it is a no-op.
 	chanalloc.RunEngineWorkerIfRequested()
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, stopOnSignals()); err != nil {
 		fmt.Fprintln(os.Stderr, "engineworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// stopOnSignals returns a channel that closes on SIGINT/SIGTERM — the
+// graceful-shutdown trigger. A second signal while draining restores the
+// default disposition, so an impatient operator's repeat ^C still kills.
+func stopOnSignals() <-chan struct{} {
+	stop := make(chan struct{})
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "engineworker: shutdown signal — draining (repeat to kill)")
+		signal.Stop(ch)
+		close(stop)
+	}()
+	return stop
+}
+
+// run is the testable entry: stop (may be nil) triggers graceful shutdown.
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("engineworker", flag.ContinueOnError)
 	listen := fs.String("listen", ":9000",
 		`address to serve on: "host:port", ":port", "unix:/path" or a bare socket path`)
@@ -58,6 +77,12 @@ func run(args []string, out io.Writer) error {
 	tasks := fs.Bool("tasks", false, "list the tasks this worker can serve, then exit")
 	metrics := fs.String("metrics", "",
 		"serve /metrics, /metrics.json, /trace and /debug/pprof on this address (empty disables)")
+	tlsCert := fs.String("tls-cert", "", "serve TLS in listen mode with this PEM certificate (requires -tls-key)")
+	tlsKey := fs.String("tls-key", "", "PEM private key for -tls-cert")
+	tlsCA := fs.String("tls-ca", "", "dial TLS in join mode, verifying the coordinator against this PEM CA bundle")
+	tlsSkipVerify := fs.Bool("tls-skip-verify", false, "dial TLS without verifying the coordinator certificate (tests only)")
+	drainTimeout := fs.Duration("drain-timeout", 0,
+		"bound the graceful drain after SIGINT/SIGTERM; in-flight connections past it are force-closed (0 waits)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,11 +101,37 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	if *join != "" {
+		joinOpts := []chanalloc.JoinOption{chanalloc.JoinAuthToken(*authToken)}
+		if *tlsCA != "" || *tlsSkipVerify {
+			cfg, err := chanalloc.EngineClientTLSConfig(*tlsCA, *tlsSkipVerify)
+			if err != nil {
+				return err
+			}
+			joinOpts = append(joinOpts, chanalloc.JoinTLS(cfg))
+		}
+		if stop != nil {
+			// A signalled join worker leaves its session (the coordinator
+			// requeues whatever it held) and returns nil: exit 0.
+			joinOpts = append(joinOpts, chanalloc.JoinStop(stop))
+		}
 		fmt.Fprintf(out, "engineworker: protocol v%d, serving %v, joining %s\n",
 			chanalloc.EngineProtocolVersion, chanalloc.EngineTaskNames(), *join)
-		return chanalloc.EngineJoinAndServe(*join, chanalloc.JoinAuthToken(*authToken))
+		return chanalloc.EngineJoinAndServe(*join, joinOpts...)
+	}
+	serveOpts := []chanalloc.ServeOption{chanalloc.ServeAuthToken(*authToken)}
+	if *tlsCert != "" || *tlsKey != "" {
+		cfg, err := chanalloc.EngineServerTLSConfig(*tlsCert, *tlsKey)
+		if err != nil {
+			return err
+		}
+		serveOpts = append(serveOpts, chanalloc.ServeTLS(cfg))
+	}
+	if stop != nil {
+		serveOpts = append(serveOpts,
+			chanalloc.ServeStop(stop),
+			chanalloc.ServeDrainTimeout(*drainTimeout))
 	}
 	fmt.Fprintf(out, "engineworker: protocol v%d, serving %v on %s\n",
 		chanalloc.EngineProtocolVersion, chanalloc.EngineTaskNames(), *listen)
-	return chanalloc.EngineListenAndServe(*listen, chanalloc.ServeAuthToken(*authToken))
+	return chanalloc.EngineListenAndServe(*listen, serveOpts...)
 }

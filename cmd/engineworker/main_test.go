@@ -12,7 +12,7 @@ import (
 
 func TestTasksFlagListsRegistry(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-tasks"}, &b); err != nil {
+	if err := run([]string{"-tasks"}, &b, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), chanalloc.DistRingTask) {
@@ -21,7 +21,7 @@ func TestTasksFlagListsRegistry(t *testing.T) {
 }
 
 func TestBadFlag(t *testing.T) {
-	if err := run([]string{"-nope"}, &strings.Builder{}); err == nil {
+	if err := run([]string{"-nope"}, &strings.Builder{}, nil); err == nil {
 		t.Fatal("bad flag should error")
 	}
 }
@@ -32,7 +32,7 @@ func TestBadFlag(t *testing.T) {
 func TestServesRingBatch(t *testing.T) {
 	addr := "unix:" + t.TempDir() + "/worker.sock"
 	var b strings.Builder
-	go run([]string{"-listen", addr}, &b) // serves until the test binary exits
+	go run([]string{"-listen", addr}, &b, nil) // serves until the test binary exits
 	waitForListener(t, addr)
 
 	specs := []chanalloc.DistRingSpec{
@@ -68,7 +68,7 @@ func TestJoinsCluster(t *testing.T) {
 	}
 	var b strings.Builder
 	workerErr := make(chan error, 1)
-	go func() { workerErr <- run([]string{"-join", coord.Addr()}, &b) }()
+	go func() { workerErr <- run([]string{"-join", coord.Addr()}, &b, nil) }()
 	t.Cleanup(func() {
 		coord.Close()
 		// The worker's join loop must end with the coordinator gone for

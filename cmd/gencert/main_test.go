@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"crypto/tls"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGencertWritesLoadablePair: the generated files load as a TLS key pair
+// and the key file is private (0600).
+func TestGencertWritesLoadablePair(t *testing.T) {
+	dir := t.TempDir()
+	cert := filepath.Join(dir, "c.pem")
+	key := filepath.Join(dir, "k.pem")
+	var out bytes.Buffer
+	err := run([]string{"-hosts", "127.0.0.1,localhost", "-cert", cert, "-key", key, "-days", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatalf("output %q", out.String())
+	}
+	certPEM, err := os.ReadFile(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyPEM, err := os.ReadFile(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tls.X509KeyPair(certPEM, keyPEM); err != nil {
+		t.Fatalf("generated pair does not load: %v", err)
+	}
+	info, err := os.Stat(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("key file mode %v, want 0600", info.Mode().Perm())
+	}
+}
+
+// TestGencertValidation: empty host list and non-positive validity fail.
+func TestGencertValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-hosts", " , "}, &out); err == nil {
+		t.Fatal("empty host list accepted")
+	}
+	if err := run([]string{"-days", "0"}, &out); err == nil {
+		t.Fatal("zero validity accepted")
+	}
+}

@@ -32,7 +32,13 @@
 // so the experiment task is registered on both ends; note that experiments
 // write CSVs on the machine that runs them, so -out expects a shared
 // filesystem when peers are remote. -auth-token arms a shared-secret check
-// in every handshake. The experiments' internal batch paths (seed sweeps,
+// in every handshake; -tls-cert/-tls-key (listening paths) and -tls-ca
+// (dialing paths) run the same wire protocol over TLS with frame bytes
+// unchanged. A cluster sweep can checkpoint progress with -journal path
+// and, after a coordinator crash, rerun with -resume to skip completed
+// jobs — the resumed output is byte-identical to an uninterrupted run (see
+// EXPERIMENTS.md, "Fault tolerance"). The experiments' internal batch
+// paths (seed sweeps,
 // NE enumeration, dynamics replicates, batched protocol rings) each fan
 // out over their own -workers-sized in-process pool — nested fan-out, so
 // peak concurrency can exceed -workers. All randomness derives from -seed
@@ -53,6 +59,7 @@ package main
 
 import (
 	"bytes"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -222,8 +229,42 @@ func run(args []string, out io.Writer) error {
 	authToken := fs.String("auth-token", "", "shared secret checked in every worker handshake")
 	metricsAddr := fs.String("metrics", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (empty disables)")
 	traceOut := fs.String("trace-out", "", "write the structured trace ring as NDJSON to this file when the run ends")
+	tlsCert := fs.String("tls-cert", "", "serve TLS on listening paths (-listen, -listen-workers) with this PEM certificate (requires -tls-key)")
+	tlsKey := fs.String("tls-key", "", "PEM private key for -tls-cert")
+	tlsCA := fs.String("tls-ca", "", "dial TLS on outgoing paths (-backend socket, -join) verifying against this PEM CA bundle")
+	tlsSkipVerify := fs.Bool("tls-skip-verify", false, "dial TLS without verifying the peer certificate (tests only)")
+	journalPath := fs.String("journal", "", "checkpoint cluster-batch progress to this NDJSON file (-backend cluster)")
+	resume := fs.Bool("resume", false, "recover completed jobs from -journal before dispatching (skipped jobs are never re-run)")
+	journalFsync := fs.Int("journal-fsync", 1, "fsync the journal every N completed jobs")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// TLS configs are built eagerly so a bad flag combination or unreadable
+	// file fails before any listener binds or worker dials.
+	var serverTLS, clientTLS *tls.Config
+	if *tlsCert != "" || *tlsKey != "" {
+		cfg, err := chanalloc.EngineServerTLSConfig(*tlsCert, *tlsKey)
+		if err != nil {
+			return err
+		}
+		serverTLS = cfg
+	}
+	if *tlsCA != "" || *tlsSkipVerify {
+		cfg, err := chanalloc.EngineClientTLSConfig(*tlsCA, *tlsSkipVerify)
+		if err != nil {
+			return err
+		}
+		clientTLS = cfg
+	}
+	if *journalPath != "" && *backendName != "cluster" {
+		return fmt.Errorf("-journal only applies to -backend cluster (got -backend %s)", *backendName)
+	}
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("-resume needs -journal path (there is nothing to resume from)")
+	}
+	if *journalFsync < 1 {
+		return fmt.Errorf("-journal-fsync must be >= 1, got %d", *journalFsync)
 	}
 	if *metricsAddr != "" {
 		ms, err := chanalloc.ServeObs(*metricsAddr)
@@ -245,12 +286,20 @@ func run(args []string, out io.Writer) error {
 	if *listen != "" {
 		fmt.Fprintf(out, "sweep: protocol v%d, serving %v on %s\n",
 			chanalloc.EngineProtocolVersion, chanalloc.EngineTaskNames(), *listen)
-		return chanalloc.EngineListenAndServe(*listen, chanalloc.ServeAuthToken(*authToken))
+		serveOpts := []chanalloc.ServeOption{chanalloc.ServeAuthToken(*authToken)}
+		if serverTLS != nil {
+			serveOpts = append(serveOpts, chanalloc.ServeTLS(serverTLS))
+		}
+		return chanalloc.EngineListenAndServe(*listen, serveOpts...)
 	}
 	if *join != "" {
 		fmt.Fprintf(out, "sweep: protocol v%d, serving %v, joining %s\n",
 			chanalloc.EngineProtocolVersion, chanalloc.EngineTaskNames(), *join)
-		return chanalloc.EngineJoinAndServe(*join, chanalloc.JoinAuthToken(*authToken))
+		joinOpts := []chanalloc.JoinOption{chanalloc.JoinAuthToken(*authToken)}
+		if clientTLS != nil {
+			joinOpts = append(joinOpts, chanalloc.JoinTLS(clientTLS))
+		}
+		return chanalloc.EngineJoinAndServe(*join, joinOpts...)
 	}
 	var backend chanalloc.EngineBackend
 	switch *backendName {
@@ -266,8 +315,11 @@ func run(args []string, out io.Writer) error {
 		if len(list) == 0 {
 			return fmt.Errorf("-backend socket needs -addrs host:port[,host:port...]")
 		}
-		backend = chanalloc.NewSocketBackendWith(list,
-			chanalloc.SocketAuthToken(*authToken))
+		sockOpts := []chanalloc.SocketOption{chanalloc.SocketAuthToken(*authToken)}
+		if clientTLS != nil {
+			sockOpts = append(sockOpts, chanalloc.SocketTLS(clientTLS))
+		}
+		backend = chanalloc.NewSocketBackendWith(list, sockOpts...)
 	case "cluster":
 		if *listenWorkers == "" {
 			return fmt.Errorf("-backend cluster needs -listen-workers addr (workers join it with `engineworker -join addr`)")
@@ -280,10 +332,21 @@ func run(args []string, out io.Writer) error {
 		if *joinWait <= 0 {
 			return fmt.Errorf("-join-wait must be positive, got %v", *joinWait)
 		}
-		c, err := chanalloc.NewClusterBackend(*listenWorkers,
+		clusterOpts := []chanalloc.ClusterOption{
 			chanalloc.ClusterWindow(*window),
 			chanalloc.ClusterJoinWait(*joinWait),
-			chanalloc.ClusterAuthToken(*authToken))
+			chanalloc.ClusterAuthToken(*authToken),
+		}
+		if serverTLS != nil {
+			clusterOpts = append(clusterOpts, chanalloc.ClusterTLS(serverTLS))
+		}
+		if *journalPath != "" {
+			clusterOpts = append(clusterOpts,
+				chanalloc.ClusterJournal(*journalPath),
+				chanalloc.ClusterResume(*resume),
+				chanalloc.ClusterJournalFsync(*journalFsync))
+		}
+		c, err := chanalloc.NewClusterBackend(*listenWorkers, clusterOpts...)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package chanalloc
 
 import (
+	"crypto/tls"
 	"net"
 	"time"
 
@@ -125,6 +126,35 @@ func NewSocketBackendWith(addrs []string, opts ...SocketOption) *SocketBackend {
 // its hello handshakes; the workers' -auth-token must match.
 func SocketAuthToken(token string) SocketOption { return engine.WithAuthToken(token) }
 
+// SocketTLS layers TLS client sessions under the socket backend's job
+// protocol; workers must listen with the matching ServeTLS / -tls-cert.
+func SocketTLS(cfg *tls.Config) SocketOption { return engine.WithSocketTLS(cfg) }
+
+// TLS plumbing, re-exported: every socket path of the engine — socket
+// workers, cluster coordinators, joining workers — can run its NDJSON
+// protocol over TLS with frame bytes unchanged. Listeners load a cert/key
+// pair (EngineServerTLSConfig ← -tls-cert/-tls-key), dialers verify against
+// a CA bundle (EngineClientTLSConfig ← -tls-ca, or -tls-skip-verify in
+// tests).
+
+// EngineServerTLSConfig loads a listener's TLS certificate/key pair.
+func EngineServerTLSConfig(certFile, keyFile string) (*tls.Config, error) {
+	return engine.ServerTLSConfig(certFile, keyFile)
+}
+
+// EngineClientTLSConfig builds a dialer's TLS configuration: caFile (when
+// set) replaces the system roots; skipVerify disables verification (tests).
+func EngineClientTLSConfig(caFile string, skipVerify bool) (*tls.Config, error) {
+	return engine.ClientTLSConfig(caFile, skipVerify)
+}
+
+// GenerateSelfSignedCert mints an ECDSA P-256 self-signed certificate for
+// the given hosts, as PEM cert and key blocks (cmd/gencert, tests, CI
+// smokes — bring real certificates for production).
+func GenerateSelfSignedCert(hosts []string, notBefore, notAfter time.Time) (certPEM, keyPEM []byte, err error) {
+	return engine.GenerateSelfSignedCert(hosts, notBefore, notAfter)
+}
+
 // NewClusterBackend listens for worker joins on addr ("host:port", ":port",
 // "unix:/path" or a bare path) and returns the membership backend. Workers
 // join with EngineJoinAndServe or `engineworker -join addr`; joins are
@@ -143,9 +173,30 @@ func ClusterWindow(n int) ClusterOption { return engine.WithClusterWindow(n) }
 // present; a mismatch rejects the join loudly, like version skew.
 func ClusterAuthToken(token string) ClusterOption { return engine.WithClusterAuthToken(token) }
 
-// ClusterJoinWait bounds how long a batch waits while no capable worker is
-// connected (default 30s).
+// ClusterJoinWait bounds the batch's accumulated time with no capable
+// worker connected (default 30s); only a completed job resets the budget,
+// so a crash-looping worker cannot keep a batch waiting forever.
 func ClusterJoinWait(d time.Duration) ClusterOption { return engine.WithJoinWait(d) }
+
+// ClusterTLS makes the coordinator require a TLS handshake from every
+// joining worker; workers must dial with the matching JoinTLS / -tls-ca.
+func ClusterTLS(cfg *tls.Config) ClusterOption { return engine.WithClusterTLS(cfg) }
+
+// ClusterJournal checkpoints batch progress to an append-only NDJSON file:
+// the batch's identity plus one entry per completed job with its exact
+// result bytes (see internal/journal). Journal write failures are logged,
+// never fatal.
+func ClusterJournal(path string) ClusterOption { return engine.WithClusterJournal(path) }
+
+// ClusterResume recovers an existing journal before dispatch: checkpointed
+// jobs are filled in from the file (EngineStats.Resumed) and only the
+// remainder runs. The journal's identity — task, params hash, seed, job
+// count — must match the batch exactly or the run fails loudly.
+func ClusterResume(on bool) ClusterOption { return engine.WithClusterResume(on) }
+
+// ClusterJournalFsync sets the journal fsync cadence: sync after every n
+// entries (default 1).
+func ClusterJournalFsync(n int) ClusterOption { return engine.WithClusterJournalFsync(n) }
 
 // EngineJoinAndServe turns the process into a cluster worker: dial the
 // coordinator at addr, register this process's task registry, serve
@@ -166,9 +217,31 @@ func JoinAttempts(n int) JoinOption { return engine.WithJoinAttempts(n) }
 // JoinStop makes EngineJoinAndServe return when the channel closes.
 func JoinStop(stop <-chan struct{}) JoinOption { return engine.WithJoinStop(stop) }
 
+// JoinTLS layers a TLS client session under the join protocol; the
+// coordinator must listen with the matching ClusterTLS / -tls-cert.
+func JoinTLS(cfg *tls.Config) JoinOption { return engine.WithJoinTLS(cfg) }
+
+// JoinBackoffSeed seeds the join loop's backoff jitter (default: a
+// process-unique seed so restarted fleets spread their redials).
+func JoinBackoffSeed(seed uint64) JoinOption { return engine.WithJoinBackoffSeed(seed) }
+
 // ServeAuthToken sets the shared secret a listening socket worker requires
 // from every dialing coordinator.
 func ServeAuthToken(token string) ServeOption { return engine.WithServeAuthToken(token) }
+
+// ServeTLS makes a listening socket worker answer every connection with a
+// TLS server handshake before the job protocol; coordinators must dial
+// with the matching SocketTLS / -tls-ca.
+func ServeTLS(cfg *tls.Config) ServeOption { return engine.WithServeTLS(cfg) }
+
+// ServeStop makes EngineServe / EngineListenAndServe shut down gracefully
+// when the channel closes: stop accepting, drain in-flight connections,
+// return nil.
+func ServeStop(stop <-chan struct{}) ServeOption { return engine.WithServeStop(stop) }
+
+// ServeDrainTimeout bounds the graceful drain after ServeStop fires;
+// connections still serving past it are force-closed (default: unbounded).
+func ServeDrainTimeout(d time.Duration) ServeOption { return engine.WithServeDrainTimeout(d) }
 
 // EngineListenAndServe turns the process into a long-lived socket worker:
 // announce on addr ("host:port", ":port", "unix:/path" or a bare path),

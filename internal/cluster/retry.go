@@ -3,7 +3,11 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"os"
+	"sync/atomic"
 	"time"
+
+	"github.com/multiradio/chanalloc/internal/obs"
 )
 
 // permanentError marks a join failure that retrying cannot fix — an auth
@@ -42,20 +46,66 @@ type RetryConfig struct {
 	Wait time.Duration
 	// MaxWait caps the backoff; <= 0 means 10×Wait (or no cap if Wait is 0).
 	MaxWait time.Duration
+	// Seed drives the backoff jitter: each pause is drawn uniformly from
+	// [wait/2, wait] of the doubling schedule, so a fleet of workers cut off
+	// by the same coordinator restart spreads its redials instead of
+	// thundering back in lock-step. Seed == 0 (the default) derives a
+	// process-unique seed; tests pin an explicit seed for a reproducible
+	// wait sequence.
+	Seed uint64
+}
+
+// retrySeq distinguishes the derived seeds of a process's Retry loops, so
+// two workers embedded in one test binary still jitter differently.
+var retrySeq atomic.Uint64
+
+// mRetryAttempts counts failed attempts across every Retry loop in the
+// process — the observable trace of backoff pressure (scrape it next to
+// engine_requeues_total to see a flapping coordinator from the worker side).
+var mRetryAttempts = obs.NewCounter("cluster_retry_attempts_total")
+
+// jitterRNG is a tiny SplitMix64: enough statistical spread for backoff
+// jitter with no dependency on the simulation RNG package (which depends on
+// nothing, and should stay that way round both directions).
+type jitterRNG struct{ state uint64 }
+
+func (r *jitterRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// jitter draws a pause uniformly from [wait/2, wait].
+func (r *jitterRNG) jitter(wait time.Duration) time.Duration {
+	if wait <= 1 {
+		return wait
+	}
+	half := wait / 2
+	return half + time.Duration(r.next()%uint64(wait-half+1))
 }
 
 // Retry runs attempt in a loop: each call is one full session (dial,
 // register, serve until the transport ends). A nil return means the session
 // ended cleanly (coordinator went away) — the loop redials, because workers
-// outlive coordinators. A failed attempt backs off exponentially. The loop
-// ends when stop closes (returns nil), when attempt returns a Permanent
-// error (returned unwrapped of the marker), or when Attempts consecutive
-// failures exhaust the budget (returns the last error).
+// outlive coordinators. A failed attempt backs off exponentially with
+// seeded jitter (each pause uniform in [wait/2, wait] of the doubling
+// schedule — see RetryConfig.Seed). The loop ends when stop closes (returns
+// nil), when attempt returns a Permanent error (returned unwrapped of the
+// marker), or when Attempts consecutive failures exhaust the budget
+// (returns the last error). Failed attempts are counted in
+// cluster_retry_attempts_total.
 func Retry(stop <-chan struct{}, cfg RetryConfig, attempt func() error) error {
 	maxWait := cfg.MaxWait
 	if maxWait <= 0 {
 		maxWait = 10 * cfg.Wait
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano()) ^ (retrySeq.Add(1) << 32) ^ uint64(os.Getpid())
+	}
+	rng := &jitterRNG{state: seed}
 	failures := 0
 	wait := cfg.Wait
 	for {
@@ -75,6 +125,7 @@ func Retry(stop <-chan struct{}, cfg RetryConfig, attempt func() error) error {
 			return p.err
 		}
 		failures++
+		mRetryAttempts.Inc()
 		if cfg.Attempts > 0 && failures >= cfg.Attempts {
 			return fmt.Errorf("giving up after %d attempts: %w", failures, err)
 		}
@@ -82,7 +133,7 @@ func Retry(stop <-chan struct{}, cfg RetryConfig, attempt func() error) error {
 			select {
 			case <-stop:
 				return nil
-			case <-time.After(wait):
+			case <-retrySleep(rng.jitter(wait)):
 			}
 			if wait *= 2; wait > maxWait && maxWait > 0 {
 				wait = maxWait
@@ -90,3 +141,7 @@ func Retry(stop <-chan struct{}, cfg RetryConfig, attempt func() error) error {
 		}
 	}
 }
+
+// retrySleep is time.After behind a test seam: the jitter tests swap it to
+// record the drawn waits without actually sleeping.
+var retrySleep = func(d time.Duration) <-chan time.Time { return time.After(d) }

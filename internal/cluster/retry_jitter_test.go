@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/multiradio/chanalloc/internal/obs"
+)
+
+// captureSleeps swaps the retrySleep seam for a recorder that never actually
+// sleeps, restoring it at cleanup.
+func captureSleeps(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var waits []time.Duration
+	orig := retrySleep
+	retrySleep = func(d time.Duration) <-chan time.Time {
+		waits = append(waits, d)
+		ch := make(chan time.Time, 1)
+		ch <- time.Time{}
+		return ch
+	}
+	t.Cleanup(func() { retrySleep = orig })
+	return &waits
+}
+
+// TestRetryJitterWithinDoublingEnvelope: every drawn pause lands in
+// [wait/2, wait] of the doubling schedule, capped at MaxWait.
+func TestRetryJitterWithinDoublingEnvelope(t *testing.T) {
+	waits := captureSleeps(t)
+	boom := errors.New("boom")
+	err := Retry(nil, RetryConfig{
+		Attempts: 8,
+		Wait:     100 * time.Millisecond,
+		MaxWait:  400 * time.Millisecond,
+		Seed:     1,
+	}, func() error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(*waits) != 7 { // attempts-1 pauses; the final failure returns
+		t.Fatalf("recorded %d pauses, want 7", len(*waits))
+	}
+	// The deterministic doubling envelope: 100, 200, 400, 400, ...
+	envelope := []time.Duration{100, 200, 400, 400, 400, 400, 400}
+	for i, w := range *waits {
+		top := envelope[i] * time.Millisecond
+		if w < top/2 || w > top {
+			t.Fatalf("pause %d = %v outside [%v, %v]", i, w, top/2, top)
+		}
+	}
+}
+
+// TestRetryJitterSeedDeterminism: one seed, one wait sequence; different
+// seeds, different sequences.
+func TestRetryJitterSeedDeterminism(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		waits := captureSleeps(t)
+		Retry(nil, RetryConfig{Attempts: 6, Wait: 50 * time.Millisecond, Seed: seed},
+			func() error { return errors.New("x") })
+		return *waits
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pause %d diverges for one seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 drew identical jitter sequences (suspicious)")
+	}
+}
+
+// TestRetryZeroSeedStillJitters: the derived process-unique seed path also
+// produces in-envelope pauses (two loops need not match each other).
+func TestRetryZeroSeedStillJitters(t *testing.T) {
+	waits := captureSleeps(t)
+	Retry(nil, RetryConfig{Attempts: 4, Wait: 80 * time.Millisecond},
+		func() error { return errors.New("x") })
+	if len(*waits) != 3 {
+		t.Fatalf("recorded %d pauses, want 3", len(*waits))
+	}
+	envelope := []time.Duration{80, 160, 320}
+	for i, w := range *waits {
+		top := envelope[i] * time.Millisecond
+		if w < top/2 || w > top {
+			t.Fatalf("pause %d = %v outside [%v, %v]", i, w, top/2, top)
+		}
+	}
+}
+
+// TestRetryCountsAttemptsInObs: every failed attempt lands in
+// cluster_retry_attempts_total.
+func TestRetryCountsAttemptsInObs(t *testing.T) {
+	captureSleeps(t)
+	read := func() int64 {
+		for _, s := range obs.Snapshot() {
+			if s.Name == "cluster_retry_attempts_total" {
+				return s.Value
+			}
+		}
+		return 0
+	}
+	before := read()
+	Retry(nil, RetryConfig{Attempts: 5, Wait: time.Millisecond, Seed: 3},
+		func() error { return errors.New("x") })
+	if d := read() - before; d != 5 {
+		t.Fatalf("cluster_retry_attempts_total moved by %d, want 5", d)
+	}
+}

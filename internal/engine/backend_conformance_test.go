@@ -75,6 +75,8 @@ func conformanceBackends(t *testing.T) []struct {
 	tcp1 := startServe(t, "tcp", "127.0.0.1:0")
 	tcp2 := startServe(t, "tcp", "127.0.0.1:0")
 	unix := startServe(t, "unix", t.TempDir()+"/worker.sock")
+	tlsSrv, tlsCli := testTLSPair(t)
+	tcpTLS := startServeTLS(t, tlsSrv)
 	return []struct {
 		desc    string
 		backend Backend
@@ -89,12 +91,16 @@ func conformanceBackends(t *testing.T) []struct {
 		// several peers concurrently must not show in the results.
 		{"socket/peers=3", NewSocket(tcp1, tcp2, tcp1), nil},
 		{"socket/unix", NewSocket(unix), nil},
+		// TLS under the framing: the conformance digest is the proof the
+		// frame bytes never changed.
+		{"socket/tls", NewSocketWith([]string{tcpTLS}, WithSocketTLS(tlsCli)), nil},
 		// Every pinned window size: lock-step (1), moderate (4) and deeper
 		// than most batches (32). Neither the window nor the worker count
 		// may show in the results.
 		{"cluster/window=1", startCluster(t, 1, WithClusterWindow(1)), nil},
 		{"cluster/window=4/workers=2", startCluster(t, 2, WithClusterWindow(4)), nil},
 		{"cluster/window=32", startCluster(t, 1, WithClusterWindow(32)), nil},
+		{"cluster/tls", startTLSCluster(t, 2, tlsSrv, tlsCli, WithClusterWindow(4)), nil},
 	}
 }
 

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/multiradio/chanalloc/internal/faultinject"
+	"github.com/multiradio/chanalloc/internal/obs"
+)
+
+// The chaos conformance suite: the cluster backend under a seeded,
+// budget-bounded network adversary (internal/faultinject) must fan in
+// byte-identical to the fault-free in-process baseline. Which operations the
+// faults land on depends on scheduling, so the assertion is deliberately
+// schedule-independent: for ANY in-budget fault placement the results are
+// the same bytes — requeues, redials and evictions are wall-clock noise,
+// never data.
+
+// chaosConfig is the suite's standard adversary mix: connection drops at
+// accept, read/write delays, and occasional severs, all from one seed with a
+// shared budget.
+func chaosConfig(seed uint64) faultinject.Config {
+	return faultinject.Config{
+		Seed:       seed,
+		DropAccept: 0.25,
+		Delay:      0.10,
+		MaxDelay:   2 * time.Millisecond,
+		Sever:      0.02,
+		Budget:     32,
+	}
+}
+
+// startChaosCluster builds a coordinator whose listener is wrapped by the
+// injector (faults bite below TLS when tlsOpts add it) plus `workers`
+// redialing in-process workers.
+func startChaosCluster(t *testing.T, inj *faultinject.Injector, workers int,
+	clusterOpts []ClusterOption, joinOpts []JoinOption) *Cluster {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClusterOn(inj.Listener(lis), append([]ClusterOption{
+		WithJoinWait(20 * time.Second),
+		WithClusterHeartbeat(50 * time.Millisecond),
+	}, clusterOpts...)...)
+	t.Cleanup(func() { c.Close() })
+	runWorkers(t, c.Addr(), workers, joinOpts...)
+	return c
+}
+
+// TestChaosSeededFaultsByteIdentical runs the suite at every pinned window
+// size: lock-step (1), the default-ish (8) and deeper than the batch (32).
+func TestChaosSeededFaultsByteIdentical(t *testing.T) {
+	const n, root = 40, 17
+	params := []byte(`{"mul":31,"label":"chaos"}`)
+	want, _, err := NewInProcess().RunTask("conformance/draw", params, n, Seed(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{1, 8, 32} {
+		t.Run(fmt.Sprintf("window=%d", window), func(t *testing.T) {
+			inj := faultinject.New(chaosConfig(uint64(window)*31 + 7))
+			c := startChaosCluster(t, inj, 3,
+				[]ClusterOption{WithClusterWindow(window)}, nil)
+			got, stats, err := c.RunTask("conformance/draw", params, n, Seed(root))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for job := range want {
+				if !bytes.Equal(want[job], got[job]) {
+					t.Fatalf("job %d under faults: %s vs baseline %s", job, got[job], want[job])
+				}
+			}
+			if spent := inj.Spent(); spent > chaosConfig(0).Budget {
+				t.Fatalf("injector overspent its budget: %d", spent)
+			} else {
+				t.Logf("window=%d: %d faults injected, %d requeues", window, spent, stats.Requeues)
+			}
+		})
+	}
+}
+
+// TestChaosTLSByteIdentical: the same adversary with TLS layered above the
+// injected transport — handshakes retry through drops and severs, and the
+// results still match the baseline byte for byte.
+func TestChaosTLSByteIdentical(t *testing.T) {
+	const n, root = 30, 23
+	params := []byte(`{"mul":13,"label":"chaos-tls"}`)
+	want, _, err := NewInProcess().RunTask("conformance/draw", params, n, Seed(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg, cliCfg := testTLSPair(t)
+	inj := faultinject.New(chaosConfig(99))
+	c := startChaosCluster(t, inj, 2,
+		[]ClusterOption{WithClusterWindow(8), WithClusterTLS(srvCfg)},
+		[]JoinOption{WithJoinTLS(cliCfg)})
+	got, _, err := c.RunTask("conformance/draw", params, n, Seed(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job := range want {
+		if !bytes.Equal(want[job], got[job]) {
+			t.Fatalf("job %d under TLS faults: %s vs baseline %s", job, got[job], want[job])
+		}
+	}
+}
+
+// TestChaosWorkerKillSchedule: workers killed and restarted on a seeded
+// KillSchedule while a batch runs; in-flight jobs requeue to survivors and
+// the fan-in is byte-identical.
+func TestChaosWorkerKillSchedule(t *testing.T) {
+	const n, root = 60, 29
+	params := []byte(`{"mul":5,"label":"kill-sched"}`)
+	want, _, err := NewInProcess().RunTask("chaos/slow", params, n, Seed(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster("127.0.0.1:0",
+		WithJoinWait(20*time.Second),
+		WithClusterHeartbeat(50*time.Millisecond),
+		WithClusterWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// One stable worker guarantees progress; a second population churns on
+	// the kill schedule.
+	runWorkers(t, c.Addr(), 1)
+
+	schedule := faultinject.KillSchedule(0xc0ffee, 5, 5*time.Millisecond, 25*time.Millisecond)
+	churnQuit := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		var wg sync.WaitGroup
+		defer wg.Wait()
+		for _, delay := range schedule {
+			stopW := make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				JoinAndServe(c.Addr(), WithJoinStop(stopW), WithJoinRetryWait(5*time.Millisecond))
+			}()
+			select {
+			case <-time.After(delay):
+			case <-churnQuit:
+				close(stopW)
+				return
+			}
+			close(stopW) // the kill: conn severed mid-whatever
+			faultinject.CountKill()
+		}
+	}()
+	defer func() { close(churnQuit); <-churnDone }()
+
+	before := obs.Snapshot()
+	got, stats, err := c.RunTask("chaos/slow", params, n, Seed(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job := range want {
+		if !bytes.Equal(want[job], got[job]) {
+			t.Fatalf("job %d under worker churn: %s vs baseline %s", job, got[job], want[job])
+		}
+	}
+	after := obs.Snapshot()
+	kills := obsValue(after, "faultinject_kills_total") - obsValue(before, "faultinject_kills_total")
+	t.Logf("churn: %d kills recorded, %d requeues, %d workers", kills, stats.Requeues, stats.Workers)
+}
+
+// TestChaosKillResumeUnderFaults combines everything: seeded network faults,
+// a mid-batch coordinator kill, and a journal resume — the second
+// coordinator, also under faults, completes the batch byte-identical.
+func TestChaosKillResumeUnderFaults(t *testing.T) {
+	const n, root = 40, 31
+	params := []byte(`{"mul":19,"label":"chaos-resume"}`)
+	want, _, err := NewInProcess().RunTask("chaos/slow", params, n, Seed(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+
+	inj1 := faultinject.New(chaosConfig(41))
+	c1 := startChaosCluster(t, inj1, 2,
+		[]ClusterOption{WithClusterWindow(4), WithClusterJournal(path)}, nil)
+	go func() {
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if journalLines(t, path) >= 6 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		c1.Close()
+		faultinject.CountKill()
+	}()
+	if _, _, err := c1.RunTask("chaos/slow", params, n, Seed(root)); err == nil {
+		t.Fatal("killed coordinator completed the batch (kill landed too late)")
+	}
+
+	inj2 := faultinject.New(chaosConfig(43))
+	c2 := startChaosCluster(t, inj2, 2,
+		[]ClusterOption{WithClusterWindow(4), WithClusterJournal(path), WithClusterResume(true)}, nil)
+	got, stats, err := c2.RunTask("chaos/slow", params, n, Seed(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed < 1 {
+		t.Fatalf("resume recovered nothing (journal had entries)")
+	}
+	for job := range want {
+		if !bytes.Equal(want[job], got[job]) {
+			t.Fatalf("job %d after chaos kill+resume: %s vs baseline %s", job, got[job], want[job])
+		}
+	}
+	t.Logf("chaos resume: %d resumed, %d+%d faults injected", stats.Resumed, inj1.Spent(), inj2.Spent())
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"github.com/multiradio/chanalloc/internal/cluster"
+	"github.com/multiradio/chanalloc/internal/journal"
 	"github.com/multiradio/chanalloc/internal/obs"
 )
 
@@ -45,10 +47,15 @@ type Cluster struct {
 	addr      string
 	window    int
 	token     string
+	tlsCfg    *tls.Config
 	heartbeat time.Duration
 	evict     time.Duration
 	joinWait  time.Duration
 	teardown  time.Duration
+
+	journalPath  string
+	journalEvery int
+	resume       bool
 
 	reg     *cluster.Registry
 	mu      sync.Mutex // guards peers AND conns
@@ -88,6 +95,47 @@ func WithClusterAuthToken(token string) ClusterOption {
 	return func(c *Cluster) { c.token = token }
 }
 
+// WithClusterTLS makes the coordinator answer every joining connection with
+// a TLS server handshake (see ServerTLSConfig) before the register
+// exchange, so only workers dialing with the matching WithJoinTLS /
+// -tls-ca get as far as the protocol. Frame bytes are unchanged — TLS sits
+// under the NDJSON framing (default: plain connections).
+func WithClusterTLS(cfg *tls.Config) ClusterOption {
+	return func(c *Cluster) { c.tlsCfg = cfg }
+}
+
+// WithClusterJournal checkpoints batch progress to an append-only NDJSON
+// file at path (see internal/journal): the batch's identity on the first
+// line, then one entry per completed job carrying the exact result bytes.
+// Without WithClusterResume the file is truncated at each RunTask; journal
+// write failures are logged, never fatal — the checkpoint is a safety net,
+// not a dependency (default: no journal).
+func WithClusterJournal(path string) ClusterOption {
+	return func(c *Cluster) { c.journalPath = path }
+}
+
+// WithClusterResume makes RunTask recover an existing journal first: jobs
+// with a checkpointed result are filled in from the journal (counted in
+// Stats.Resumed, never re-executed) and only the remainder is dispatched.
+// The journal's batch identity — task, params hash, root seed, job count —
+// must match exactly or the batch fails loudly; a missing file degenerates
+// to a fresh journal. A torn final line (the previous coordinator died
+// mid-append) is truncated silently.
+func WithClusterResume(on bool) ClusterOption {
+	return func(c *Cluster) { c.resume = on }
+}
+
+// WithClusterJournalFsync sets the journal's durability cadence: fsync
+// after every n appended entries (default 1 — every entry; larger values
+// trade a crash losing up to n-1 checkpoints for fewer disk stalls).
+func WithClusterJournalFsync(n int) ClusterOption {
+	return func(c *Cluster) {
+		if n > 0 {
+			c.journalEvery = n
+		}
+	}
+}
+
 // WithClusterHeartbeat sets the heartbeat cadence advertised to joining
 // workers (default 2s; floored at 1ms — the cadence crosses the wire in
 // whole milliseconds, and a sub-ms value would advertise as "none" while
@@ -113,10 +161,11 @@ func WithClusterEvictAfter(d time.Duration) ClusterOption {
 	}
 }
 
-// WithJoinWait bounds how long a batch keeps waiting while NO capable
-// worker is connected (default 30s). The clock resets whenever a worker is
-// serving; it only runs while the membership (for the batch's task) is
-// empty.
+// WithJoinWait bounds the batch's accumulated time with NO capable worker
+// connected (default 30s). The clock runs only while the membership (for
+// the batch's task) is empty, pauses while a worker is serving, and resets
+// when a job completes — so a worker stuck in a join/crash loop without
+// ever finishing a job burns the budget instead of renewing it.
 func WithJoinWait(d time.Duration) ClusterOption {
 	return func(c *Cluster) {
 		if d > 0 {
@@ -149,18 +198,24 @@ func NewCluster(addr string, opts ...ClusterOption) (*Cluster, error) {
 // that picked their own port).
 func NewClusterOn(lis net.Listener, opts ...ClusterOption) *Cluster {
 	c := &Cluster{
-		lis:       lis,
-		window:    8,
-		heartbeat: 2 * time.Second,
-		joinWait:  30 * time.Second,
-		teardown:  defaultTeardownGrace,
-		reg:       cluster.NewRegistry(),
-		peers:     map[int64]*clusterPeer{},
-		conns:     map[net.Conn]struct{}{},
-		closed:    make(chan struct{}),
+		lis:          lis,
+		window:       8,
+		heartbeat:    2 * time.Second,
+		joinWait:     30 * time.Second,
+		teardown:     defaultTeardownGrace,
+		journalEvery: 1,
+		reg:          cluster.NewRegistry(),
+		peers:        map[int64]*clusterPeer{},
+		conns:        map[net.Conn]struct{}{},
+		closed:       make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.tlsCfg != nil {
+		// The TLS listener wraps accepted conns; Addr() still reports the
+		// inner listener's address, so the join address is unchanged.
+		c.lis = tls.NewListener(lis, c.tlsCfg)
 	}
 	if c.heartbeat < time.Millisecond {
 		c.heartbeat = time.Millisecond
@@ -483,10 +538,16 @@ type clusterBatch struct {
 	// membership whenever a sender goroutine exits (lost signals are fine —
 	// a full buffer means a wakeup is already pending).
 	peerExit chan struct{}
+
+	// jnl, when set, checkpoints every completed job. Peer readers call
+	// complete concurrently; jnlMu serialises their appends.
+	jnl   *journal.Journal
+	jnlMu sync.Mutex
 }
 
-// complete records one job's result and, on the last job, releases the
-// whole batch.
+// complete records one job's result — checkpointing it first, so a batch
+// never reads as done with its last entry unwritten — and, on the last job,
+// releases the whole batch.
 func (b *clusterBatch) complete(m *wireMsg, took time.Duration) {
 	b.jobTimes[m.Job] = took
 	mDispatchLat.Observe(int64(took))
@@ -495,6 +556,24 @@ func (b *clusterBatch) complete(m *wireMsg, took time.Duration) {
 		b.failed[m.Job] = true
 	} else {
 		b.results[m.Job] = m.Value
+	}
+	if b.jnl != nil {
+		e := journal.Entry{Job: m.Job}
+		if m.Error != "" {
+			e.Failed, e.Error = true, m.Error
+		} else {
+			e.Value = m.Value
+		}
+		b.jnlMu.Lock()
+		err := b.jnl.Append(e)
+		b.jnlMu.Unlock()
+		if err != nil {
+			// The checkpoint is a safety net: losing it degrades a future
+			// resume, never this batch.
+			fmt.Fprintf(os.Stderr, "engine cluster: %v\n", err)
+		} else {
+			mJournalWrites.Inc()
+		}
 	}
 	if b.pending.Add(-1) == 0 {
 		close(b.queue)
@@ -572,15 +651,46 @@ func (c *Cluster) RunTask(task string, params json.RawMessage, n int, opts ...Op
 		done:     make(chan struct{}),
 		peerExit: make(chan struct{}, 1),
 	}
-	b.pending.Store(int64(n))
+
+	// Open the checkpoint journal (and, on resume, recover completed jobs)
+	// before anything is enqueued: recovered jobs never touch the queue, so
+	// they cannot be re-executed by any interleaving of joins and deaths.
+	recovered, err := c.openJournal(b, n)
+	if err != nil {
+		return nil, stats, err
+	}
+	if b.jnl != nil {
+		defer func() {
+			b.jnlMu.Lock()
+			closeErr := b.jnl.Close()
+			b.jnlMu.Unlock()
+			if closeErr != nil {
+				fmt.Fprintf(os.Stderr, "engine cluster: %v\n", closeErr)
+			}
+		}()
+	}
+	stats.Resumed = len(recovered)
+	remaining := 0
+	b.pending.Store(int64(n - len(recovered)))
 	for job := 0; job < n; job++ {
+		if recovered[job] {
+			continue
+		}
 		b.queue <- job
+		remaining++
 	}
 
-	workers, err := c.dispatch(b)
+	var workers int
+	if remaining > 0 {
+		workers, err = c.dispatch(b)
+	} else {
+		// Every job came out of the journal: nothing to dispatch, so the
+		// batch completes without waiting for a single worker to join.
+		close(b.queue)
+	}
 	stats.Workers = workers
 	stats.Wall = time.Since(start)
-	obs.Emit("batch", task, int64(n), int64(workers), 0)
+	obs.Emit("batch", task, int64(n), int64(workers), int64(stats.Resumed))
 	stats.JobTimes = b.jobTimes
 	stats.Requeues = int(b.requeues.Load())
 	if err != nil {
@@ -590,6 +700,50 @@ func (c *Cluster) RunTask(task string, params json.RawMessage, n int, opts ...Op
 		return nil, stats, err
 	}
 	return b.results, stats, nil
+}
+
+// openJournal wires the batch to the configured checkpoint journal (no-op
+// without WithClusterJournal). On resume, recovered entries are written
+// straight into the batch's result slots and reported in the returned set;
+// the caller keeps them off the queue.
+func (c *Cluster) openJournal(b *clusterBatch, n int) (recovered map[int]bool, err error) {
+	if c.journalPath == "" {
+		return nil, nil
+	}
+	h := journal.Header{
+		Task:      b.task,
+		ParamsSHA: journal.ParamsDigest(b.params),
+		Seed:      b.seed,
+		Jobs:      n,
+	}
+	if !c.resume {
+		j, err := journal.Create(c.journalPath, h, c.journalEvery)
+		if err != nil {
+			return nil, fmt.Errorf("engine: cluster backend: %w", err)
+		}
+		b.jnl = j
+		return nil, nil
+	}
+	j, entries, err := journal.Resume(c.journalPath, h, c.journalEvery)
+	if err != nil {
+		return nil, fmt.Errorf("engine: cluster backend: %w", err)
+	}
+	b.jnl = j
+	recovered = make(map[int]bool, len(entries))
+	for _, e := range entries {
+		if e.Failed {
+			b.errs[e.Job] = e.Error
+			b.failed[e.Job] = true
+		} else {
+			b.results[e.Job] = e.Value
+		}
+		recovered[e.Job] = true
+	}
+	if len(entries) > 0 {
+		mResumedJobs.Add(uint64(len(entries)))
+		obs.Emit("resume", b.task, int64(len(entries)), int64(n), 0)
+	}
+	return recovered, nil
 }
 
 // dispatch runs the batch to completion: a membership watcher starts one
@@ -602,7 +756,15 @@ func (c *Cluster) dispatch(b *clusterBatch) (workers int, err error) {
 	defer wg.Wait()
 	var active atomic.Int64
 	seen := map[int64]bool{}
-	idleSince := time.Now()
+	// The join-wait clock measures accumulated UNPRODUCTIVE idle time: it
+	// runs while no capable worker is connected, pauses (without resetting)
+	// while one is, and only a completed job resets it. A worker crash-loop
+	// — join, die before finishing anything, rejoin — therefore burns the
+	// budget instead of renewing it: before this accounting, every flap
+	// reset the clock and a zero-progress batch could wait forever.
+	var idleAccum time.Duration
+	var idleStart time.Time // non-zero while the clock is running
+	progressMark := b.pending.Load()
 	for {
 		// Fetch the change channel BEFORE snapshotting: a membership change
 		// landing in between closes the channel we already hold, so the
@@ -639,14 +801,23 @@ func (c *Cluster) dispatch(b *clusterBatch) (workers int, err error) {
 			}(p)
 		}
 
+		now := time.Now()
+		if p := b.pending.Load(); p < progressMark {
+			progressMark = p
+			idleAccum = 0
+			idleStart = time.Time{}
+		}
 		var timeoutC <-chan time.Time
 		if active.Load() > 0 {
-			idleSince = time.Time{}
-		} else {
-			if idleSince.IsZero() {
-				idleSince = time.Now()
+			if !idleStart.IsZero() {
+				idleAccum += now.Sub(idleStart)
+				idleStart = time.Time{}
 			}
-			wait := c.joinWait - time.Since(idleSince)
+		} else {
+			if idleStart.IsZero() {
+				idleStart = now
+			}
+			wait := c.joinWait - idleAccum - now.Sub(idleStart)
 			if wait <= 0 {
 				return workers, c.transportErr(b)
 			}

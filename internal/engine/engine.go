@@ -42,6 +42,12 @@ type Stats struct {
 	// and Cluster backends only; always 0 elsewhere). Like the timings, it
 	// describes how the batch executed, never what it produced.
 	Requeues int
+	// Resumed counts jobs recovered from a checkpoint journal instead of
+	// executed (Cluster backend with WithClusterResume; always 0 elsewhere).
+	// Recovered results ARE what an uninterrupted run would have produced —
+	// the journal stores the exact result bytes — so like Requeues this
+	// describes execution, not output.
+	Resumed int
 }
 
 // TotalJobTime sums the per-job times — the serial cost the pool amortised.

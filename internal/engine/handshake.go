@@ -42,7 +42,7 @@ func clientHandshake(enc *json.Encoder, dec *json.Decoder, task, token string) e
 	}
 	var reply wireMsg
 	if err := dec.Decode(&reply); err != nil {
-		return fmt.Errorf("awaiting hello reply (a pre-versioning worker closes here): %w", err)
+		return fmt.Errorf("awaiting hello reply (a pre-versioning or TLS-expecting worker closes here — do the -tls flags agree on both ends?): %w", err)
 	}
 	if reply.Type != wireHello {
 		return fmt.Errorf("got frame %q for hello reply, want %q (worker speaks a pre-versioning protocol?)",
@@ -122,7 +122,7 @@ func registerHandshake(enc *json.Encoder, dec *json.Decoder, token string) (hear
 	}
 	var reply wireMsg
 	if err := dec.Decode(&reply); err != nil {
-		return 0, fmt.Errorf("awaiting register reply (a pre-membership coordinator closes here): %w", err)
+		return 0, fmt.Errorf("awaiting register reply (a pre-membership or TLS-expecting coordinator closes here — do the -tls flags agree on both ends?): %w", err)
 	}
 	if reply.Type != wireHello {
 		return 0, fmt.Errorf("%w: got frame %q for register reply, want %q",

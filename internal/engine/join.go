@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,9 +19,11 @@ type joinConfig struct {
 	token       string
 	attempts    int
 	retryWait   time.Duration
+	backoffSeed uint64
 	dialTimeout time.Duration
 	heartbeat   time.Duration
 	stop        <-chan struct{}
+	tlsCfg      *tls.Config
 	logf        func(format string, args ...any)
 }
 
@@ -51,6 +54,22 @@ func WithJoinRetryWait(d time.Duration) JoinOption {
 // the test-and-embedder hook for shutting a worker down.
 func WithJoinStop(stop <-chan struct{}) JoinOption {
 	return func(c *joinConfig) { c.stop = stop }
+}
+
+// WithJoinTLS layers a TLS client session under the register/job protocol:
+// the join dial handshakes with the given config (see ClientTLSConfig)
+// before the register frame is sent. The coordinator must be listening with
+// the matching WithClusterTLS / -tls-cert (default: plain connections).
+func WithJoinTLS(cfg *tls.Config) JoinOption {
+	return func(c *joinConfig) { c.tlsCfg = cfg }
+}
+
+// WithJoinBackoffSeed seeds the retry loop's backoff jitter so tests can
+// pin the exact wait sequence (default 0: a process-unique seed, so a fleet
+// of workers restarted together spreads its redials instead of thundering
+// back in lock-step).
+func WithJoinBackoffSeed(seed uint64) JoinOption {
+	return func(c *joinConfig) { c.backoffSeed = seed }
 }
 
 // WithJoinDialTimeout bounds each connection attempt (default 10s).
@@ -99,6 +118,7 @@ func JoinAndServe(addr string, opts ...JoinOption) error {
 	return cluster.Retry(cfg.stop, cluster.RetryConfig{
 		Attempts: cfg.attempts,
 		Wait:     cfg.retryWait,
+		Seed:     cfg.backoffSeed,
 	}, func() error {
 		err := joinOnce(network, address, &cfg)
 		if err != nil && !cluster.IsPermanent(err) {
@@ -116,9 +136,9 @@ func JoinAndServe(addr string, opts ...JoinOption) error {
 // else — a reply cut short by a dying coordinator, a handshake deadline, a
 // reset — is transport trouble and transient.
 func joinOnce(network, address string, cfg *joinConfig) error {
-	conn, err := net.DialTimeout(network, address, cfg.dialTimeout)
+	conn, err := dialWorkerConn(network, address, cfg.dialTimeout, cfg.tlsCfg)
 	if err != nil {
-		return fmt.Errorf("dialing: %w", err)
+		return err
 	}
 	defer conn.Close()
 	// The stop hook covers the WHOLE session, registration included: a

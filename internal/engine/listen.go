@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,7 +14,10 @@ import (
 
 // serveConfig carries the options of Serve / ListenAndServe.
 type serveConfig struct {
-	token string
+	token  string
+	tlsCfg *tls.Config
+	stop   <-chan struct{}
+	drain  time.Duration
 }
 
 // ServeOption configures the listening worker loop.
@@ -26,24 +30,87 @@ func WithServeAuthToken(token string) ServeOption {
 	return func(c *serveConfig) { c.token = token }
 }
 
+// WithServeTLS makes the worker answer every accepted connection with a TLS
+// server handshake (see ServerTLSConfig) before the hello exchange, so only
+// coordinators dialing with the matching WithSocketTLS / -tls-ca get as far
+// as the protocol (default: plain connections).
+func WithServeTLS(cfg *tls.Config) ServeOption {
+	return func(c *serveConfig) { c.tlsCfg = cfg }
+}
+
+// WithServeStop makes Serve shut down gracefully when the channel closes:
+// stop accepting, let in-flight connections drain (each ends when its
+// coordinator half-closes), then return nil. Pair with
+// WithServeDrainTimeout to bound the drain.
+func WithServeStop(stop <-chan struct{}) ServeOption {
+	return func(c *serveConfig) { c.stop = stop }
+}
+
+// WithServeDrainTimeout bounds the graceful drain after WithServeStop
+// fires: connections still serving past the deadline are force-closed, the
+// reap idiom (default 0: wait for every connection however long it takes).
+func WithServeDrainTimeout(d time.Duration) ServeOption {
+	return func(c *serveConfig) { c.drain = d }
+}
+
 // Serve runs the listening end of the socket worker loop: accept
 // connections, answer the hello handshake (rejecting version, task or
 // auth-token skew loudly, see ProtocolVersion), then serve jobs with
 // ServeWorker — the very loop the Process backend drives over stdio — until
 // the coordinator half-closes the connection. Connections are served
-// concurrently; Serve returns nil when lis is closed.
+// concurrently; Serve returns nil when lis is closed (or the WithServeStop
+// channel fires and the in-flight connections drain).
 func Serve(lis net.Listener, opts ...ServeOption) error {
 	cfg := serveConfig{}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if cfg.tlsCfg != nil {
+		lis = tls.NewListener(lis, cfg.tlsCfg)
+	}
+
+	// Track live connections so a bounded drain can escalate to closing
+	// them; the map doubles as the "what is still in flight" set.
+	var connMu sync.Mutex
+	conns := map[net.Conn]struct{}{}
+	closeConns := func() {
+		connMu.Lock()
+		open := make([]net.Conn, 0, len(conns))
+		for c := range conns {
+			open = append(open, c)
+		}
+		connMu.Unlock()
+		for _, c := range open {
+			c.Close()
+		}
+	}
+
+	if cfg.stop != nil {
+		stopDone := make(chan struct{})
+		defer close(stopDone)
+		go func() {
+			select {
+			case <-cfg.stop:
+				lis.Close() // acceptConns sees net.ErrClosed and returns nil
+			case <-stopDone:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
-	defer wg.Wait()
-	return acceptConns(lis, "engine worker", func(conn net.Conn) {
+	err := acceptConns(lis, "engine worker", func(conn net.Conn) {
+		connMu.Lock()
+		conns[conn] = struct{}{}
+		connMu.Unlock()
 		wg.Add(1)
 		go func(conn net.Conn) {
 			defer wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				connMu.Lock()
+				delete(conns, conn)
+				connMu.Unlock()
+			}()
 			enc := json.NewEncoder(conn)
 			dec := json.NewDecoder(conn)
 			if err := serverHandshake(enc, dec, cfg.token); err != nil {
@@ -55,6 +122,14 @@ func Serve(lis net.Listener, opts ...ServeOption) error {
 			}
 		}(conn)
 	})
+	// Drain in-flight connections — bounded by the drain timeout when one is
+	// configured, escalating to force-closing the stragglers.
+	if cfg.drain > 0 {
+		reap(cfg.drain, func() error { wg.Wait(); return nil },
+			func() error { closeConns(); return nil })
+	}
+	wg.Wait()
+	return err
 }
 
 // acceptConns accepts connections until lis closes (returning nil), handing

@@ -19,4 +19,10 @@ var (
 	mInflight    = obs.NewGauge("engine_inflight_jobs")
 	mWindowDepth = obs.NewHistogram("engine_peer_window_depth", obs.SmallCountBuckets)
 	mDispatchLat = obs.NewHistogram("engine_dispatch_latency_ns", obs.LatencyBucketsNS)
+
+	// Checkpoint-journal traffic (Cluster backend with WithClusterJournal):
+	// entries appended vs. jobs skipped on resume. A resumed sweep should
+	// show journal_writes + resumed_jobs == the batch size.
+	mJournalWrites = obs.NewCounter("engine_journal_writes_total")
+	mResumedJobs   = obs.NewCounter("engine_resumed_jobs_total")
 )

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"crypto/tls"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -34,6 +35,7 @@ type Socket struct {
 	redialWait  time.Duration
 	teardown    time.Duration
 	token       string
+	tlsCfg      *tls.Config
 }
 
 // SocketOption configures a Socket backend.
@@ -64,6 +66,16 @@ func WithRedialWait(d time.Duration) SocketOption {
 // version skew (default: no token).
 func WithAuthToken(token string) SocketOption {
 	return func(s *Socket) { s.token = token }
+}
+
+// WithSocketTLS layers TLS client sessions under the job protocol: every
+// peer dial handshakes with the given config (see ClientTLSConfig) before
+// the hello frame is sent, so frame bytes are unchanged and certificate
+// trouble surfaces as a dial error, not a mid-protocol decode failure.
+// Workers must be listening with the matching WithServeTLS / -tls-cert
+// (default: plain connections).
+func WithSocketTLS(cfg *tls.Config) SocketOption {
+	return func(s *Socket) { s.tlsCfg = cfg }
 }
 
 // WithSocketTeardown bounds the polite end-of-batch teardown per peer
@@ -114,9 +126,9 @@ func (s *Socket) dial(addr, task string) (*socketPeer, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.DialTimeout(network, address, s.dialTimeout)
+	conn, err := dialWorkerConn(network, address, s.dialTimeout, s.tlsCfg)
 	if err != nil {
-		return nil, fmt.Errorf("dialing %s: %w", addr, err)
+		return nil, fmt.Errorf("%s: %w", addr, err)
 	}
 	p := &socketPeer{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
 	if err := clientHandshake(p.enc, p.dec, task, s.token); err != nil {

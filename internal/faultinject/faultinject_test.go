@@ -1,0 +1,225 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/multiradio/chanalloc/internal/obs"
+)
+
+// pipePair returns the two ends of an in-memory connection.
+func pipePair() (net.Conn, net.Conn) {
+	return net.Pipe()
+}
+
+// TestBudgetCapsEvents: with an all-faults config and a budget of k, exactly
+// k events fire and the injector then becomes a transparent wrapper.
+func TestBudgetCapsEvents(t *testing.T) {
+	in := New(Config{Seed: 1, Sever: 1.0, Budget: 3})
+	for i := 0; i < 10; i++ {
+		a, b := pipePair()
+		go io.Copy(io.Discard, b)
+		wrapped := in.Conn(a)
+		wrapped.Write([]byte("x"))
+		a.Close()
+		b.Close()
+	}
+	if got := in.Spent(); got != 3 {
+		t.Fatalf("Spent() = %d, want 3 (the budget)", got)
+	}
+	// Past the budget, writes pass through untouched.
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 1)
+		b.Read(buf)
+	}()
+	if _, err := in.Conn(a).Write([]byte("y")); err != nil {
+		t.Fatalf("post-budget write failed: %v", err)
+	}
+}
+
+// TestSeverIsSticky: once severed, every subsequent op fails with the
+// non-temporary net.Error and the underlying conn is closed.
+func TestSeverIsSticky(t *testing.T) {
+	in := New(Config{Seed: 7, Sever: 1.0, Budget: 1})
+	a, b := pipePair()
+	defer b.Close()
+	wrapped := in.Conn(a)
+	_, err := wrapped.Write([]byte("x"))
+	if err == nil {
+		t.Fatal("sever did not fire at p=1")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || ne.Timeout() {
+		t.Fatalf("sever error %v is not a non-timeout net.Error", err)
+	}
+	// Sticky: fails again even though the budget is exhausted.
+	if _, err := wrapped.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on a severed conn succeeded")
+	}
+	// The underlying conn really closed.
+	if _, err := a.Write([]byte("y")); err == nil {
+		t.Fatal("underlying conn still open after sever")
+	}
+}
+
+// TestDropAccept: at p=1 with budget n, the first n accepted connections are
+// closed at birth and the accept loop keeps going; connection n+1 survives.
+func TestDropAccept(t *testing.T) {
+	in := New(Config{Seed: 3, DropAccept: 1.0, Budget: 2})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	wrapped := in.Listener(lis)
+
+	accepted := make(chan net.Conn, 1)
+	acceptErr := make(chan error, 1)
+	go func() {
+		c, err := wrapped.Accept()
+		if err != nil {
+			acceptErr <- err
+			return
+		}
+		accepted <- c
+	}()
+	// Dial three times: the first two are dropped (Accept never returns
+	// them), the third survives.
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+	}
+	select {
+	case c := <-accepted:
+		c.Close()
+	case err := <-acceptErr:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept never surfaced the surviving connection")
+	}
+	if got := in.Spent(); got != 2 {
+		t.Fatalf("Spent() = %d, want 2 drops", got)
+	}
+}
+
+// TestDelayBounded: injected delays land in (0, MaxDelay] and the operation
+// still succeeds.
+func TestDelayBounded(t *testing.T) {
+	const maxDelay = 5 * time.Millisecond
+	in := New(Config{Seed: 9, Delay: 1.0, MaxDelay: maxDelay, Budget: 4})
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+	wrapped := in.Conn(a)
+	for i := 0; i < 4; i++ {
+		start := time.Now()
+		if _, err := wrapped.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed > maxDelay+100*time.Millisecond {
+			t.Fatalf("write %d stalled %v, max injected delay is %v", i, elapsed, maxDelay)
+		}
+	}
+	if in.Spent() != 4 {
+		t.Fatalf("Spent() = %d, want 4 delays", in.Spent())
+	}
+}
+
+// TestSeededDeterminism: two injectors with one seed make identical
+// decisions over an identical opportunity sequence.
+func TestSeededDeterminism(t *testing.T) {
+	decide := func(seed uint64) []bool {
+		in := New(Config{Seed: seed, Sever: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			fire, _ := in.roll(faultSever, in.cfg.Sever)
+			out[i] = fire
+		}
+		return out
+	}
+	a, b := decide(11), decide(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverges for one seed", i)
+		}
+	}
+	c := decide(12)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 11 and 12 produced identical schedules (suspicious)")
+	}
+}
+
+// TestKillSchedule: seeded, length-n, within [min, max], and deterministic.
+func TestKillSchedule(t *testing.T) {
+	const n = 32
+	min, max := 5*time.Millisecond, 50*time.Millisecond
+	s1 := KillSchedule(77, n, min, max)
+	s2 := KillSchedule(77, n, min, max)
+	if len(s1) != n {
+		t.Fatalf("len = %d, want %d", len(s1), n)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("delay %d diverges for one seed", i)
+		}
+		if s1[i] < min || s1[i] > max {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, s1[i], min, max)
+		}
+	}
+	// Reversed bounds are swapped, not an error; n<=0 is empty.
+	if s := KillSchedule(1, 4, max, min); len(s) != 4 {
+		t.Fatalf("reversed bounds: %v", s)
+	}
+	if s := KillSchedule(1, 0, min, max); s != nil {
+		t.Fatalf("n=0 schedule: %v", s)
+	}
+}
+
+// TestObsCounters: injected events land in faultinject_events_total and the
+// per-kind counters, and CountKill reconciles external kills.
+func TestObsCounters(t *testing.T) {
+	before := obs.Snapshot()
+	in := New(Config{Seed: 5, Sever: 1.0, Budget: 2})
+	for i := 0; i < 2; i++ {
+		a, b := pipePair()
+		in.Conn(a).Write([]byte("x"))
+		a.Close()
+		b.Close()
+	}
+	CountKill()
+	after := obs.Snapshot()
+	get := func(s []obs.Sample, name string) int64 {
+		for _, m := range s {
+			if m.Name == name {
+				return m.Value
+			}
+		}
+		return 0
+	}
+	if d := get(after, "faultinject_events_total") - get(before, "faultinject_events_total"); d != 3 {
+		t.Fatalf("events_total moved by %d, want 3 (2 severs + 1 kill)", d)
+	}
+	if d := get(after, "faultinject_severs_total") - get(before, "faultinject_severs_total"); d != 2 {
+		t.Fatalf("severs_total moved by %d, want 2", d)
+	}
+	if d := get(after, "faultinject_kills_total") - get(before, "faultinject_kills_total"); d != 1 {
+		t.Fatalf("kills_total moved by %d, want 1", d)
+	}
+}

@@ -1,0 +1,456 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testHeader(jobs int) Header {
+	return Header{
+		Task:      "test/task",
+		ParamsSHA: ParamsDigest([]byte(`{"n":4}`)),
+		Seed:      42,
+		Jobs:      jobs,
+	}
+}
+
+func entryFor(job int) Entry {
+	return Entry{Job: job, Value: json.RawMessage(fmt.Sprintf(`{"job":%d,"x":%d}`, job, job*job))}
+}
+
+// TestRoundTrip writes a journal and recovers it: header and every entry
+// must come back exactly, digests intact.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	h := testHeader(8)
+	j, err := Create(path, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(Entry{Job: 5, Failed: true, Error: "task: boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Writes(); got != 6 {
+		t.Fatalf("Writes() = %d, want 6", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stored, entries, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.V = Version
+	if stored != h {
+		t.Fatalf("header round-trip: got %+v, want %+v", stored, h)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("recovered %d entries, want 6", len(entries))
+	}
+	for i := 0; i < 5; i++ {
+		if entries[i].Job != i || string(entries[i].Value) != fmt.Sprintf(`{"job":%d,"x":%d}`, i, i*i) {
+			t.Fatalf("entry %d round-trip: %+v", i, entries[i])
+		}
+	}
+	if !entries[5].Failed || entries[5].Error != "task: boom" {
+		t.Fatalf("failed entry round-trip: %+v", entries[5])
+	}
+}
+
+// TestTornTailTruncated chops bytes off the end of a valid journal at every
+// possible offset within the last line: recovery must silently drop the torn
+// tail and keep every fully-written entry before it.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ndjson")
+	h := testHeader(4)
+	j, err := Create(full, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	prefix := len(data) - len(lines[3]) - 1 // bytes before the last entry's line
+	for cut := prefix + 1; cut < len(data); cut++ {
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d.ndjson", cut))
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, entries, err := Recover(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		// Losing only the trailing newline leaves the final entry complete
+		// and digest-valid, so it survives; any earlier cut drops it.
+		want := 2
+		if cut == len(data)-1 {
+			want = 3
+		}
+		if len(entries) != want {
+			t.Fatalf("cut at %d: recovered %d entries, want %d", cut, len(entries), want)
+		}
+	}
+}
+
+// TestMidFileCorruptionRefused flips a byte in a NON-final entry: that is not
+// our own torn write, and recovery must hard-fail rather than resume.
+func TestMidFileCorruptionRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	j, err := Create(path, testHeader(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a digit inside the second entry's value (line 3 of 4).
+	idx := strings.Index(string(data), `"x":1}`)
+	if idx < 0 {
+		t.Fatal("marker not found")
+	}
+	data[idx+4] = '9'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Recover(path)
+	if err == nil || !strings.Contains(err.Error(), "corrupt with valid lines after it") {
+		t.Fatalf("Recover = %v, want mid-file corruption error", err)
+	}
+	// Resume must refuse the same way.
+	if _, _, err := Resume(path, testHeader(4), 1); err == nil {
+		t.Fatal("Resume accepted a mid-file-corrupt journal")
+	}
+}
+
+// TestHeaderMismatch: resuming with any divergent identity field is ErrMismatch.
+func TestHeaderMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	j, err := Create(path, testHeader(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Header){
+		"task":   func(h *Header) { h.Task = "other/task" },
+		"params": func(h *Header) { h.ParamsSHA = ParamsDigest([]byte(`{"n":5}`)) },
+		"seed":   func(h *Header) { h.Seed = 43 },
+		"jobs":   func(h *Header) { h.Jobs = 5 },
+	}
+	for name, mutate := range mutations {
+		h := testHeader(4)
+		mutate(&h)
+		if _, _, err := Resume(path, h, 1); !errors.Is(err, ErrMismatch) {
+			t.Errorf("%s mismatch: Resume = %v, want ErrMismatch", name, err)
+		}
+	}
+	// Identical header resumes fine.
+	j2, entries, err := Resume(path, testHeader(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("recovered %d entries from an entry-less journal", len(entries))
+	}
+	j2.Close()
+}
+
+// TestResumeMissingFileCreates: resume against a nonexistent path is a create.
+func TestResumeMissingFileCreates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.ndjson")
+	j, entries, err := Resume(path, testHeader(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != nil {
+		t.Fatalf("fresh resume recovered entries: %v", entries)
+	}
+	if err := j.Append(entryFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Recover(path)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Recover after fresh-resume append: %d entries, err=%v", len(got), err)
+	}
+}
+
+// TestResumeDedupesFirstWins: duplicate job indices (two coordinators racing
+// one file) keep the FIRST occurrence, and the rewritten file holds only the
+// deduped prefix.
+func TestResumeDedupesFirstWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	j, err := Create(path, testHeader(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Entry{Job: 1, Value: json.RawMessage(`"first"`)}
+	second := Entry{Job: 1, Value: json.RawMessage(`"second"`)}
+	for _, e := range []Entry{entryFor(0), first, second, entryFor(2)} {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, entries, err := Resume(path, testHeader(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("resumed %d entries, want 3 after dedupe", len(entries))
+	}
+	if string(entries[1].Value) != `"first"` {
+		t.Fatalf("dedupe kept %s, want the first occurrence", entries[1].Value)
+	}
+	// The rewrite dropped the duplicate from disk too.
+	_, again, err := Recover(path)
+	if err != nil || len(again) != 3 {
+		t.Fatalf("post-rewrite Recover: %d entries, err=%v", len(again), err)
+	}
+}
+
+// TestResumeTruncatesTornTail: resume against a torn file rewrites it to the
+// valid prefix, and subsequent appends land on a clean line boundary.
+func TestResumeTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	j, err := Create(path, testHeader(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := j.Append(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear: half of an in-flight third entry.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"job":2,"val`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, entries, err := Resume(path, testHeader(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("resumed %d entries, want 2", len(entries))
+	}
+	if err := j2.Append(entryFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, final, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 3 {
+		t.Fatalf("final journal holds %d entries, want 3", len(final))
+	}
+}
+
+// TestDigestCoversFailedBit: a failure entry whose bytes are reinterpreted as
+// a success (or vice versa) must fail its digest — the "failed:"/"value:"
+// domain separation in the hash.
+func TestDigestCoversFailedBit(t *testing.T) {
+	e := Entry{Job: 0, Failed: true, Error: "x"}
+	failedSHA := e.digest()
+	e2 := Entry{Job: 0, Value: json.RawMessage(`x`)}
+	if failedSHA == e2.digest() {
+		t.Fatal("failure and success entries with identical payload bytes share a digest")
+	}
+}
+
+// TestEntryRangeChecked: a recovered entry whose job index exceeds the
+// header's job count is corruption (or a mismatched journal) — last line
+// torn-dropped, earlier lines fatal.
+func TestEntryRangeChecked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	j, err := Create(path, testHeader(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(entryFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Forge an out-of-range but digest-valid entry as the LAST line: dropped.
+	oob := Entry{Job: 7, Value: json.RawMessage(`{}`)}
+	if err := j.Append(oob); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, entries, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("recovered %d entries, want 1 (out-of-range tail dropped)", len(entries))
+	}
+	// Same forged entry mid-file: fatal.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := entryFor(1)
+	good.SHA = good.digest()
+	line, _ := json.Marshal(&good)
+	f.Write(line)
+	f.WriteString("\n")
+	f.Close()
+	if _, _, err := Recover(path); err == nil {
+		t.Fatal("Recover accepted an out-of-range entry with valid lines after it")
+	}
+}
+
+// TestRandomKillPoints is the resumability property test: write a journal,
+// truncate it at a RANDOM byte offset (any crash point past the header),
+// resume, finish the remaining jobs, and check the final recovered set is
+// complete with every surviving prefix entry byte-identical.
+func TestRandomKillPoints(t *testing.T) {
+	const jobs = 12
+	h := testHeader(jobs)
+	// Build the reference journal once.
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.ndjson")
+	j, err := Create(ref, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < jobs; i++ {
+		if err := j.Append(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerEnd := strings.IndexByte(string(data), '\n') + 1
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		cut := headerEnd + rng.Intn(len(data)-headerEnd) + 1
+		if cut > len(data) {
+			cut = len(data)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("kill-%d.ndjson", trial))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, recovered, err := Resume(path, h, 1)
+		if err != nil {
+			t.Fatalf("trial %d (cut %d): %v", trial, cut, err)
+		}
+		done := make(map[int]bool, len(recovered))
+		for _, e := range recovered {
+			if want := entryFor(e.Job); string(e.Value) != string(want.Value) {
+				t.Fatalf("trial %d: recovered job %d value %s diverges", trial, e.Job, e.Value)
+			}
+			done[e.Job] = true
+		}
+		for i := 0; i < jobs; i++ {
+			if !done[i] {
+				if err := j2.Append(entryFor(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, final, err := Recover(path)
+		if err != nil {
+			t.Fatalf("trial %d: final recover: %v", trial, err)
+		}
+		if len(final) != jobs {
+			t.Fatalf("trial %d: final journal has %d entries, want %d", trial, len(final), jobs)
+		}
+		seen := make(map[int]string, jobs)
+		for _, e := range final {
+			seen[e.Job] = string(e.Value)
+		}
+		for i := 0; i < jobs; i++ {
+			if seen[i] != string(entryFor(i).Value) {
+				t.Fatalf("trial %d: job %d final value %q", trial, i, seen[i])
+			}
+		}
+	}
+}
+
+// TestFsyncCadence: with fsyncEvery=4, three appends leave unsynced buffered
+// data flushed only at Close; the journal still recovers completely.
+func TestFsyncCadence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ndjson")
+	j, err := Create(path, testHeader(8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := j.Append(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, entries, err := Recover(path)
+	if err != nil || len(entries) != 7 {
+		t.Fatalf("fsync-cadence recover: %d entries, err=%v", len(entries), err)
+	}
+}

@@ -1,0 +1,99 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read what Serve has written so far without
+// racing the server goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestInterruptSendsByeAndServeReturnsNil: Interrupt mid-conversation sends
+// one bye frame, suppresses every later write, and Serve returns nil once
+// its reader unblocks — the graceful-shutdown contract a listening daemon
+// builds on.
+func TestInterruptSendsByeAndServeReturnsNil(t *testing.T) {
+	s := newTestServer(t, 1)
+	pr, pw := io.Pipe()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(pr, &out) }()
+
+	if _, err := pw.Write([]byte(`{"op":"join","budget":2}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), `"type":"update"`) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !strings.Contains(out.String(), `"type":"update"`) {
+		t.Fatalf("no update frame before interrupt; output: %q", out.String())
+	}
+
+	s.Interrupt()
+	if !s.Interrupted() {
+		t.Fatal("Interrupted() false after Interrupt")
+	}
+	s.Interrupt() // idempotent: no second bye
+
+	// A request arriving after the interrupt produces no frame.
+	if _, err := pw.Write([]byte(`{"op":"stats"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	pw.Close() // unblocks the scanner; Serve must return nil
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve after interrupt: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after its reader closed")
+	}
+
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	last := lines[len(lines)-1]
+	var resp Response
+	if err := json.Unmarshal([]byte(last), &resp); err != nil || resp.Type != "bye" {
+		t.Fatalf("last frame %q, want the interrupt's bye", last)
+	}
+	byes := strings.Count(out.String(), `{"type":"bye"}`)
+	if byes != 1 {
+		t.Fatalf("%d bye frames, want exactly 1", byes)
+	}
+}
+
+// TestInterruptBeforeServe: a server interrupted before Serve starts writes
+// nothing — not even the hello — and returns nil immediately.
+func TestInterruptBeforeServe(t *testing.T) {
+	s := newTestServer(t, 1)
+	s.Interrupt()
+	var out syncBuffer
+	if err := s.Serve(strings.NewReader(""), &out); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if out.String() != "" {
+		t.Fatalf("interrupted-before-serve wrote %q", out.String())
+	}
+}

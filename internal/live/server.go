@@ -54,6 +54,14 @@ type Server struct {
 	cfg     Config
 	dynOpts []dynamics.Option
 	stats   Stats
+
+	// writeMu serialises frame writes between Serve's loop and Interrupt;
+	// enc is the live conversation's encoder (nil outside Serve). Once
+	// interrupted is set, Serve writes nothing more — the bye Interrupt
+	// sent is the conversation's last frame.
+	writeMu     sync.Mutex
+	enc         *json.Encoder
+	interrupted bool
 }
 
 // NewServer builds a server with an empty live game.
@@ -100,43 +108,109 @@ func (s *Server) Stats() Stats {
 }
 
 // Serve runs one NDJSON conversation: hello first, then one response line
-// per request line until EOF, a bye request, or a transport error. Invalid
-// requests get error frames and the conversation continues — a malformed
-// line is a client bug worth reporting, not a reason to drop a live
-// allocation service.
+// per request line until EOF, a bye request, a transport error, or an
+// Interrupt. Invalid requests get error frames and the conversation
+// continues — a malformed line is a client bug worth reporting, not a
+// reason to drop a live allocation service.
 func (s *Server) Serve(r io.Reader, w io.Writer) error {
 	enc := json.NewEncoder(frameCounter{w})
-	if err := enc.Encode(Hello{
+	s.writeMu.Lock()
+	s.enc = enc
+	s.writeMu.Unlock()
+	defer func() {
+		s.writeMu.Lock()
+		s.enc = nil
+		s.writeMu.Unlock()
+	}()
+	if err := s.send(Hello{
 		Type:     "hello",
 		Version:  ProtocolVersion,
 		Channels: s.cfg.Channels,
 		Rate:     s.cfg.RateName,
 	}); err != nil {
+		if s.Interrupted() {
+			return nil
+		}
 		return fmt.Errorf("live: writing hello: %w", err)
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
+		if s.Interrupted() {
+			return nil
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
-			if err := enc.Encode(Response{Type: "error", Error: fmt.Sprintf("bad frame: %v", err)}); err != nil {
+			if err := s.send(Response{Type: "error", Error: fmt.Sprintf("bad frame: %v", err)}); err != nil {
+				if s.Interrupted() {
+					return nil
+				}
 				return err
 			}
 			continue
 		}
 		if req.Op == "bye" {
-			return enc.Encode(Response{Type: "bye"})
+			if err := s.send(Response{Type: "bye"}); err != nil && !s.Interrupted() {
+				return err
+			}
+			return nil
 		}
 		resp := s.Apply(req)
-		if err := enc.Encode(resp); err != nil {
+		if err := s.send(resp); err != nil {
+			if s.Interrupted() {
+				return nil
+			}
 			return err
 		}
 	}
+	if s.Interrupted() {
+		return nil
+	}
 	return sc.Err()
+}
+
+// send writes one frame under the write mutex. Once the server is
+// interrupted nothing more is written — the interrupt's bye frame stays
+// the conversation's last — and errSendInterrupted is returned so callers
+// can tell the suppressed write from a transport failure.
+func (s *Server) send(frame any) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.interrupted {
+		return errSendInterrupted
+	}
+	return s.enc.Encode(frame)
+}
+
+var errSendInterrupted = fmt.Errorf("live: conversation interrupted")
+
+// Interrupt ends the conversation from outside Serve — the graceful-
+// shutdown path of a listening daemon: a bye frame is sent (best effort,
+// serialised against Serve's own writes) and Serve writes nothing more,
+// returning nil as soon as its reader unblocks (typically when the caller
+// closes the connection after the drain grace). Safe to call at any time,
+// from any goroutine, more than once.
+func (s *Server) Interrupt() {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.interrupted {
+		return
+	}
+	s.interrupted = true
+	if s.enc != nil {
+		_ = s.enc.Encode(Response{Type: "bye"})
+	}
+}
+
+// Interrupted reports whether Interrupt has been called.
+func (s *Server) Interrupted() bool {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.interrupted
 }
 
 // Apply executes one request against the live game and builds its
